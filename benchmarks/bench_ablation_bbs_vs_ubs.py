@@ -1,0 +1,101 @@
+"""Ablation — BBS against UBS on the same application.
+
+BBS needs no reverse-direction traffic (the bound is static); UBS pays
+one acknowledgment per message unless resynchronization proves it
+redundant.  Three configurations over the 2-PE LPC error system:
+
+* auto (BBS chosen, the paper's preferred path),
+* forced UBS without resynchronization (worst case),
+* forced UBS with resynchronization (acks optimised away).
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.apps.lpc import build_parallel_error_graph
+from repro.spi import Protocol, SpiConfig, SpiSystem
+
+ITERATIONS = 6
+
+
+def run_variant(speech_frames_factory, policy, resync):
+    frames = speech_frames_factory(256)
+    system = build_parallel_error_graph(frames, order=8, n_units=2)
+    compiled = SpiSystem.compile(
+        system.graph,
+        system.partition,
+        SpiConfig(protocol_policy=policy, resynchronize=resync),
+    )
+    return compiled, compiled.run(iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def variants(speech_frames_factory):
+    return {
+        "bbs": run_variant(speech_frames_factory, "auto", True),
+        "ubs_raw": run_variant(speech_frames_factory, "always_ubs", False),
+        "ubs_resync": run_variant(speech_frames_factory, "always_ubs", True),
+    }
+
+
+def test_bbs_vs_ubs_report(variants):
+    rows = []
+    labels = {
+        "bbs": "BBS (auto)",
+        "ubs_raw": "UBS, no resync",
+        "ubs_resync": "UBS + resync",
+    }
+    for key, (system, result) in variants.items():
+        protocols = {p.protocol for p in system.channel_plans.values()}
+        rows.append(
+            [
+                labels[key],
+                "/".join(sorted(protocols)),
+                str(result.ack_messages),
+                str(result.wire_bytes),
+                f"{result.execution_time_us:.2f}",
+            ]
+        )
+    text = render_table(
+        ["configuration", "protocols", "acks", "wire bytes", "time us"],
+        rows,
+    )
+    emit("Ablation: BBS vs UBS", text)
+    save_result("ablation_bbs_vs_ubs.txt", text)
+
+
+def test_auto_selects_bbs(variants):
+    system, result = variants["bbs"]
+    assert all(
+        p.protocol == Protocol.BBS for p in system.channel_plans.values()
+    )
+    assert result.ack_messages == 0
+
+
+def test_raw_ubs_pays_one_ack_per_message(variants):
+    _, result = variants["ubs_raw"]
+    assert result.ack_messages == result.data_messages
+
+
+def test_resync_recovers_bbs_traffic_profile(variants):
+    _, bbs = variants["bbs"]
+    _, optimised = variants["ubs_resync"]
+    assert optimised.ack_messages == 0
+    assert optimised.wire_bytes == bbs.wire_bytes
+
+
+def test_bbs_never_slower(variants):
+    _, bbs = variants["bbs"]
+    _, raw = variants["ubs_raw"]
+    assert bbs.execution_time_us <= raw.execution_time_us * 1.01
+
+
+def test_benchmark_bbs(benchmark, speech_frames_factory):
+    benchmark(lambda: run_variant(speech_frames_factory, "auto", True))
+
+
+def test_benchmark_ubs(benchmark, speech_frames_factory):
+    benchmark(
+        lambda: run_variant(speech_frames_factory, "always_ubs", False)
+    )

@@ -1,0 +1,88 @@
+"""Ablation — resynchronization on/off across PE counts.
+
+Quantifies §4.1 beyond the two figure cases: for 2..4 error PEs, how
+many synchronization (acknowledgment) messages per iteration does
+resynchronization eliminate, and what does that do to wire traffic?
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.apps.lpc import build_parallel_error_graph
+from repro.spi import SpiConfig, SpiSystem
+
+ITERATIONS = 4
+PE_COUNTS = (2, 3, 4)
+
+
+def run_pair(speech_frames_factory, n_units):
+    frames = speech_frames_factory(256)
+    system = build_parallel_error_graph(frames, order=8, n_units=n_units)
+    raw = SpiSystem.compile(
+        system.graph,
+        system.partition,
+        SpiConfig(protocol_policy="always_ubs", resynchronize=False),
+    ).run(iterations=ITERATIONS)
+    optimised = SpiSystem.compile(
+        system.graph,
+        system.partition,
+        SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+    ).run(iterations=ITERATIONS)
+    return raw, optimised
+
+
+@pytest.fixture(scope="module")
+def sweep(speech_frames_factory):
+    return {
+        n: run_pair(speech_frames_factory, n) for n in PE_COUNTS
+    }
+
+
+def test_resync_ablation_report(sweep):
+    rows = []
+    for n, (raw, optimised) in sweep.items():
+        rows.append(
+            [
+                str(n),
+                str(raw.ack_messages),
+                str(optimised.ack_messages),
+                str(raw.wire_bytes - optimised.wire_bytes),
+                f"{raw.execution_time_us:.2f}",
+                f"{optimised.execution_time_us:.2f}",
+            ]
+        )
+    text = render_table(
+        [
+            "error PEs",
+            "acks (raw)",
+            "acks (resync)",
+            "wire bytes saved",
+            "time us (raw)",
+            "time us (resync)",
+        ],
+        rows,
+    )
+    emit("Ablation: resynchronization across PE counts", text)
+    save_result("ablation_resync.txt", text)
+
+
+def test_savings_scale_with_pe_count(sweep):
+    """More PEs, more channels, more acks removed: savings grow with n."""
+    saved = {
+        n: raw.ack_messages - optimised.ack_messages
+        for n, (raw, optimised) in sweep.items()
+    }
+    assert saved[2] < saved[3] < saved[4]
+    for n, (raw, optimised) in sweep.items():
+        assert raw.ack_messages == 3 * n * ITERATIONS
+        assert optimised.ack_messages == 0
+
+
+def test_resync_never_hurts_time(sweep):
+    for raw, optimised in sweep.values():
+        assert optimised.execution_time_us <= raw.execution_time_us * 1.01
+
+
+def test_benchmark_resync_4pe(benchmark, speech_frames_factory):
+    benchmark(lambda: run_pair(speech_frames_factory, 4))

@@ -1,0 +1,97 @@
+"""Ablation — SPI against the generic MPI-like layer (§1's motivation).
+
+Same applications, same mappings, same simulated platform; only the
+communication layer changes.  Reports execution time, overhead bytes on
+the wire, and library fabric cost for both paper applications.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.apps.lpc import build_parallel_error_graph
+from repro.apps.particle_filter import build_particle_filter_graph
+from repro.mpi import MpiSystem
+from repro.spi import SpiSystem
+
+ITERATIONS = 5
+
+
+def run_lpc(speech_frames_factory, layer):
+    frames = speech_frames_factory(256)
+    system = build_parallel_error_graph(frames, order=8, n_units=2)
+    compiled = layer.compile(system.graph, system.partition)
+    return compiled, compiled.run(iterations=ITERATIONS)
+
+
+def run_pf(crack_problem, layer):
+    model, _, observations = crack_problem
+    system = build_particle_filter_graph(
+        model, observations, n_particles=100, n_pes=2
+    )
+    compiled = layer.compile(system.graph, system.partition)
+    return compiled, compiled.run(iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def results(speech_frames_factory, crack_problem):
+    return {
+        ("lpc", "spi"): run_lpc(speech_frames_factory, SpiSystem),
+        ("lpc", "mpi"): run_lpc(speech_frames_factory, MpiSystem),
+        ("pf", "spi"): run_pf(crack_problem, SpiSystem),
+        ("pf", "mpi"): run_pf(crack_problem, MpiSystem),
+    }
+
+
+def test_spi_vs_mpi_report(results):
+    rows = []
+    for app, label in (("lpc", "LPC actor D (2 PE)"), ("pf", "PF (2 PE)")):
+        _, spi = results[(app, "spi")]
+        _, mpi = results[(app, "mpi")]
+        rows.append(
+            [
+                label,
+                f"{spi.execution_time_us:.2f}",
+                f"{mpi.execution_time_us:.2f}",
+                f"{mpi.execution_time_us / spi.execution_time_us:.2f}x",
+                str(spi.overhead_bytes),
+                str(mpi.overhead_bytes),
+            ]
+        )
+    text = render_table(
+        [
+            "application",
+            "SPI us",
+            "MPI us",
+            "SPI speedup",
+            "SPI ovh B",
+            "MPI ovh B",
+        ],
+        rows,
+    )
+    emit("Ablation: SPI vs MPI-like baseline", text)
+    save_result("ablation_spi_vs_mpi.txt", text)
+
+    for app in ("lpc", "pf"):
+        _, spi = results[(app, "spi")]
+        _, mpi = results[(app, "mpi")]
+        assert spi.execution_time_us < mpi.execution_time_us
+        assert spi.overhead_bytes < mpi.overhead_bytes
+        assert spi.payload_bytes == mpi.payload_bytes  # fair comparison
+
+
+def test_spi_library_smaller_than_mpi_engines(results):
+    spi_system, _ = results[("lpc", "spi")]
+    mpi_system, _ = results[("lpc", "mpi")]
+    spi_cost = spi_system.spi_library_resources()
+    mpi_cost = mpi_system.library_resources()
+    assert spi_cost.slices < mpi_cost.slices
+    assert spi_cost.lut4 < mpi_cost.lut4
+
+
+def test_benchmark_spi_lpc(benchmark, speech_frames_factory):
+    benchmark(lambda: run_lpc(speech_frames_factory, SpiSystem))
+
+
+def test_benchmark_mpi_lpc(benchmark, speech_frames_factory):
+    benchmark(lambda: run_lpc(speech_frames_factory, MpiSystem))

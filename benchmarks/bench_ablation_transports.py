@@ -1,0 +1,79 @@
+"""Ablation — interconnect styles under the SPI methodology.
+
+The paper's §2 notes the methodology adapts to other scheduling models;
+this bench quantifies the trade on the 3-PE LPC error system:
+
+* dedicated point-to-point links (the paper's FPGA library),
+* a shared FCFS-arbitrated bus (cheap wires, run-time arbitration),
+* the ordered-transaction bus (no arbitration at all — the grant
+  sequence comes from the schedule — but transfers wait for their slot).
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.apps.lpc import build_parallel_error_graph
+from repro.spi import SpiConfig, SpiSystem
+
+TRANSPORTS = ("p2p", "shared_bus", "ordered_bus")
+ITERATIONS = 5
+
+
+def run_transport(speech_frames_factory, transport: str):
+    frames = speech_frames_factory(256)
+    system = build_parallel_error_graph(frames, order=8, n_units=3)
+    compiled = SpiSystem.compile(
+        system.graph, system.partition, SpiConfig(transport=transport)
+    )
+    return compiled.run(iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def sweep(speech_frames_factory):
+    return {
+        t: run_transport(speech_frames_factory, t) for t in TRANSPORTS
+    }
+
+
+def test_transport_report(sweep):
+    rows = [
+        [
+            transport,
+            f"{result.iteration_period_cycles:.0f}",
+            f"{result.execution_time_us:.2f}",
+            str(result.data_messages),
+        ]
+        for transport, result in sweep.items()
+    ]
+    text = render_table(
+        ["transport", "cycles/frame", "time us", "messages"], rows
+    )
+    emit("Ablation: interconnect styles", text)
+    save_result("ablation_transports.txt", text)
+
+
+def test_same_functional_traffic(sweep):
+    messages = {r.data_messages for r in sweep.values()}
+    payloads = {r.payload_bytes for r in sweep.values()}
+    assert len(messages) == 1
+    assert len(payloads) == 1
+
+
+def test_p2p_fastest(sweep):
+    """Dedicated links never lose: everything else serialises transfers."""
+    p2p = sweep["p2p"].iteration_period_cycles
+    assert p2p <= sweep["shared_bus"].iteration_period_cycles
+    assert p2p <= sweep["ordered_bus"].iteration_period_cycles
+
+
+def test_ordered_bus_competitive_with_arbitrated_bus(sweep):
+    """Dropping arbitration should roughly offset the lost flexibility
+    on this regular, schedule-driven traffic pattern."""
+    ordered = sweep["ordered_bus"].iteration_period_cycles
+    shared = sweep["shared_bus"].iteration_period_cycles
+    assert ordered <= shared * 1.25
+
+
+def test_benchmark_shared_bus(benchmark, speech_frames_factory):
+    benchmark(lambda: run_transport(speech_frames_factory, "shared_bus"))

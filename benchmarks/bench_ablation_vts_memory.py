@@ -1,0 +1,84 @@
+"""Ablation — VTS buffer bounds: tightness and soundness.
+
+The paper's claim for VTS is not that it shrinks buffers, but that it
+makes **static allocation possible at all**: "general dynamic dataflow
+... requires fully dynamic memory management", while VTS's token-size
+bounds yield the finite eq. 1/2 allocations.  This bench quantifies:
+
+* soundness — observed channel occupancy never exceeds the plan;
+* tightness — the planned bytes are within a small factor of the
+  occupancy a real workload actually reaches;
+* the eq. 1 coexisting-bytes bound per converted edge.
+
+A bound-free dynamic implementation has no finite row in this table —
+that absence *is* the result.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.apps.lpc import build_parallel_error_graph
+from repro.dataflow import vts_convert
+from repro.spi import SpiSystem
+
+ITERATIONS = 6
+
+
+@pytest.fixture(scope="module")
+def setup(speech_frames_factory):
+    frames = speech_frames_factory(256)
+    system = build_parallel_error_graph(frames, order=8, n_units=2)
+    conversion = vts_convert(system.graph)
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    result = compiled.run(iterations=ITERATIONS)
+    return system, conversion, compiled, result
+
+
+def test_vts_memory_report(setup):
+    _, conversion, compiled, result = setup
+    rows = []
+    total_planned = 0
+    total_observed = 0
+    for name, plan in compiled.channel_plans.items():
+        planned = (plan.capacity_messages + 1) * plan.message_payload_bytes
+        observed = result.buffer_high_water[name]
+        total_planned += planned
+        total_observed += observed
+        rows.append([name, str(plan.message_payload_bytes), str(planned),
+                     str(observed)])
+    rows.append(["TOTAL", "-", str(total_planned), str(total_observed)])
+    rows.append(["without VTS bounds", "-", "unbounded (dynamic alloc)", "-"])
+    text = render_table(
+        ["channel", "b_max bytes", "planned bytes", "observed high-water"],
+        rows,
+    )
+    emit("Ablation: VTS static buffer allocation", text)
+    save_result("ablation_vts_memory.txt", text)
+
+    # soundness
+    assert total_observed <= total_planned
+    # tightness: static plan within 4x of what the workload really used
+    assert total_planned <= 4 * total_observed
+
+
+def test_eq1_bounds_per_edge(setup):
+    """Every converted edge has a finite eq. 1 bound, and the packed
+    tokens observed on the wire respect b_max."""
+    _, conversion, compiled, result = setup
+    for name, info in conversion.edge_info.items():
+        assert info.c_bytes > 0
+        assert info.b_max_bytes >= info.raw_token_bytes
+
+
+def test_every_channel_within_its_bound(setup):
+    _, _, compiled, result = setup
+    for name, plan in compiled.channel_plans.items():
+        bound = (plan.capacity_messages + 1) * plan.message_payload_bytes
+        assert result.buffer_high_water[name] <= bound
+
+
+def test_benchmark_vts_conversion(benchmark, speech_frames_factory):
+    frames = speech_frames_factory(256)
+    system = build_parallel_error_graph(frames, order=8, n_units=2)
+    benchmark(lambda: vts_convert(system.graph))

@@ -1,0 +1,81 @@
+"""Figure 1 — the VTS conversion example and its buffer bounds.
+
+The paper's figure 1 shows an SDF edge with dynamic production rate
+(bound 10) and dynamic consumption rate (bound 8) converted into a
+static rate-1 edge carrying variable-size packed tokens.  This bench
+reproduces the conversion, reports the eq. 1 / eq. 2 bounds, and checks
+them against the occupancy actually observed during execution.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.dataflow import DataflowGraph, DynamicRate, vts_convert
+from repro.mapping import Partition
+from repro.spi import SpiSystem
+
+PRODUCER_BOUND = 10
+CONSUMER_BOUND = 8
+RAW_BYTES = 2
+
+
+def build_fig1_graph():
+    """A -> B with rates varying at run time (cycling 1..bound)."""
+    graph = DataflowGraph("fig1")
+
+    def produce(k, inputs):
+        return {"o": list(range(k % PRODUCER_BOUND + 1))}
+
+    a = graph.actor("A", kernel=produce, cycles=4)
+    b = graph.actor("B", cycles=4)
+    a.add_output("o", rate=DynamicRate(PRODUCER_BOUND), token_bytes=RAW_BYTES)
+    b.add_input("i", rate=DynamicRate(CONSUMER_BOUND), token_bytes=RAW_BYTES)
+    graph.connect((a, "o"), (b, "i"))
+    return graph
+
+
+@pytest.fixture(scope="module")
+def conversion():
+    return vts_convert(build_fig1_graph())
+
+
+def test_fig1_conversion_report(conversion):
+    edge = conversion.graph.edges[0]
+    info = conversion.edge_info[edge.name]
+    rows = [
+        ["production rate (before)", f"dynamic, <= {PRODUCER_BOUND}"],
+        ["consumption rate (before)", f"dynamic, <= {CONSUMER_BOUND}"],
+        ["production rate (after)", str(edge.source.rate)],
+        ["consumption rate (after)", str(edge.sink.rate)],
+        ["b_max(e)  [bytes/packed token]", str(info.b_max_bytes)],
+        ["c_sdf(e)  [packed tokens]", str(info.c_sdf)],
+        ["c(e) = c_sdf * b_max  [eq. 1]", str(info.c_bytes)],
+        [
+            "B(e)  [eq. 2]",
+            str(conversion.ipc_buffer_bound_bytes(edge) or "unbounded (UBS)"),
+        ],
+    ]
+    text = render_table(["quantity", "value"], rows)
+    emit("Figure 1 (VTS conversion, reproduced)", text)
+    save_result("fig1_vts_conversion.txt", text)
+
+    assert edge.source.rate == 1
+    assert edge.sink.rate == 1
+    assert info.b_max_bytes == PRODUCER_BOUND * RAW_BYTES
+
+
+def test_fig1_bound_is_sound_at_runtime(conversion):
+    """Observed channel occupancy never exceeds the planned byte bound."""
+    graph = build_fig1_graph()
+    partition = Partition(graph, 2, {"A": 0, "B": 1})
+    system = SpiSystem.compile(graph, partition)
+    result = system.run(iterations=PRODUCER_BOUND * 3)
+    plan = next(iter(system.channel_plans.values()))
+    high = next(iter(result.buffer_high_water.values()))
+    assert high <= (plan.capacity_messages + 1) * plan.message_payload_bytes
+
+
+def test_fig1_benchmark_conversion(benchmark):
+    """pytest-benchmark unit: the VTS conversion itself."""
+    benchmark(lambda: vts_convert(build_fig1_graph()))

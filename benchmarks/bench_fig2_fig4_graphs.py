@@ -1,0 +1,86 @@
+"""Figures 2 and 4 — the application dataflow graphs, as artifacts.
+
+These figures are structural: the ADC pipeline of application 1
+(A read / B FFT / C LU / D error / E Huffman) and the particle filter
+of application 2 (E estimate / U update / S select, with the external
+observation input and the unit-delay feedback).  The bench renders both
+graphs (actor/edge tables plus Graphviz dot) and asserts their shape.
+"""
+
+import pytest
+
+from conftest import crack_problem, emit, save_result
+from repro.analysis import render_table
+from repro.apps.lpc import build_adc_graph, frame_stream
+from repro.apps.particle_filter import build_particle_filter_graph
+
+
+def graph_table(graph):
+    rows = [
+        [
+            edge.src_actor.name,
+            edge.snk_actor.name,
+            f"{edge.source.rate!r}",
+            f"{edge.sink.rate!r}",
+            str(edge.delay),
+        ]
+        for edge in graph.edges
+    ]
+    return render_table(
+        ["from", "to", "prod rate", "cons rate", "delay"], rows
+    )
+
+
+@pytest.fixture(scope="module")
+def adc():
+    frames = frame_stream(total_samples=2 * 256, frame_size=256)
+    return build_adc_graph(frames, order=8)
+
+
+@pytest.fixture(scope="module")
+def pf(crack_problem):
+    model, _, observations = crack_problem
+    return build_particle_filter_graph(
+        model, observations, n_particles=40, n_pes=2
+    )
+
+
+def test_fig2_adc_graph(adc):
+    text = graph_table(adc.graph)
+    emit("Figure 2 (application 1 dataflow graph)", text)
+    save_result("fig2_adc_graph.txt", text + "\n\n" + adc.graph.to_dot())
+
+    names = [a.name for a in adc.graph.topological_order()]
+    assert names == ["A", "B", "C", "D", "E"]
+    assert len(adc.graph.edges) == 4
+
+
+def test_fig4_pf_graph(pf):
+    text = graph_table(pf.graph)
+    emit("Figure 4 (application 2 dataflow graph, 2 PEs)", text)
+    save_result("fig4_pf_graph.txt", text + "\n\n" + pf.graph.to_dot())
+
+    # per PE: E -> U -> S1 -> S2 -> S3 chain with the delayed feedback
+    for pe in (0, 1):
+        feedback = pf.graph.edge_between(f"S3_{pe}", f"E_{pe}")
+        assert feedback.delay == 20  # N/n initial particles
+    # the S2 <-> S3 particle exchanges are the dynamic edges of fig. 4/5
+    dynamic = {e.name for e in pf.graph.dynamic_edges}
+    assert "particles_0_to_1" in dynamic
+    assert "particles_1_to_0" in dynamic
+
+
+def test_dot_exports_render(adc, pf):
+    for graph in (adc.graph, pf.graph):
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+
+def test_benchmark_graph_construction(benchmark, crack_problem):
+    model, _, observations = crack_problem
+    benchmark(
+        lambda: build_particle_filter_graph(
+            model, observations, n_particles=100, n_pes=2
+        )
+    )

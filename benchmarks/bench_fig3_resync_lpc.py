@@ -1,0 +1,113 @@
+"""Figure 3 — resynchronization of the 3-PE actor-D system (app 1).
+
+The paper's figure 3 shows the synchronization graph of the 3-PE error
+computation before and after resynchronization.  The measurable content:
+each of the 9 channels (3 per PE: frame, coefficients, errors) carries
+an acknowledgment edge under UBS, and after resynchronization every one
+of them is redundant — the data path through the I/O interface loop
+already enforces the throttling — so the per-iteration synchronization
+message count drops accordingly.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.apps.lpc import build_parallel_error_graph
+from repro.mapping import EdgeKind
+from repro.spi import SpiConfig, SpiSystem
+
+N_UNITS = 3
+FRAME_SIZE = 256
+ORDER = 8
+
+
+def compile_variants(speech_frames_factory):
+    frames = speech_frames_factory(FRAME_SIZE)
+    system = build_parallel_error_graph(frames, order=ORDER, n_units=N_UNITS)
+    before = SpiSystem.compile(
+        system.graph,
+        system.partition,
+        SpiConfig(protocol_policy="always_ubs", resynchronize=False),
+    )
+    after = SpiSystem.compile(
+        system.graph,
+        system.partition,
+        SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+    )
+    return before, after
+
+
+@pytest.fixture(scope="module")
+def variants(speech_frames_factory):
+    return compile_variants(speech_frames_factory)
+
+
+def _ack_count(system):
+    reference = (
+        system.resync_result.graph
+        if system.resync_result is not None
+        else system.sync_graph
+    )
+    return len(reference.edges_of_kind(EdgeKind.ACK))
+
+
+def test_fig3_report(variants):
+    before, after = variants
+    run_before = before.run(iterations=4)
+    run_after = after.run(iterations=4)
+    rows = [
+        [
+            "ack (synchronization) edges",
+            str(_ack_count(before)),
+            str(_ack_count(after)),
+        ],
+        [
+            "sync messages / 4 iterations (measured)",
+            str(run_before.ack_messages),
+            str(run_after.ack_messages),
+        ],
+        [
+            "execution time (us, 4 iterations)",
+            f"{run_before.execution_time_us:.2f}",
+            f"{run_after.execution_time_us:.2f}",
+        ],
+    ]
+    text = render_table(
+        ["3-PE actor D (application 1)", "before resync", "after resync"],
+        rows,
+    )
+    emit("Figure 3 (resynchronization, reproduced)", text)
+    save_result("fig3_resync_lpc.txt", text)
+
+    assert _ack_count(before) == 3 * N_UNITS
+    assert _ack_count(after) == 0
+    assert run_before.ack_messages > 0
+    assert run_after.ack_messages == 0
+    assert run_after.execution_time_us <= run_before.execution_time_us
+
+
+def test_fig3_semantics_preserved(variants):
+    """Resynchronization must keep every original constraint implied."""
+    before, after = variants
+    assert after.resync_result is not None
+    rho = after.resync_result.graph.min_delay_paths()
+    for edge in after.sync_graph.edges:
+        if edge.kind == EdgeKind.ACK:
+            continue  # acks were the removable constraints
+        assert rho[edge.src].get(edge.snk, edge.delay + 1) <= edge.delay
+
+
+def test_fig3_benchmark_resynchronize(benchmark, speech_frames_factory):
+    """pytest-benchmark unit: the full resynchronizing compile."""
+    frames = speech_frames_factory(FRAME_SIZE)
+    system = build_parallel_error_graph(frames, order=ORDER, n_units=N_UNITS)
+
+    def compile_with_resync():
+        return SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+        )
+
+    benchmark(compile_with_resync)

@@ -1,0 +1,116 @@
+"""Figure 5 — resynchronization of the 2-PE particle filter (app 2).
+
+The paper's figure 5 shows the 2-PE PF synchronization graph before and
+after resynchronization.  Four channels cross the PEs per iteration (a
+weight-sum and a particle exchange in each direction); under UBS each
+carries an acknowledgment edge, and the filter's feedback structure
+makes all of them redundant.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import render_table
+from repro.apps.particle_filter import build_particle_filter_graph
+from repro.mapping import EdgeKind
+from repro.spi import SpiConfig, SpiSystem
+
+N_PARTICLES = 100
+N_PES = 2
+
+
+def compile_variants(crack_problem):
+    model, _, observations = crack_problem
+    system = build_particle_filter_graph(
+        model, observations, n_particles=N_PARTICLES, n_pes=N_PES
+    )
+    before = SpiSystem.compile(
+        system.graph,
+        system.partition,
+        SpiConfig(protocol_policy="always_ubs", resynchronize=False),
+    )
+    after = SpiSystem.compile(
+        system.graph,
+        system.partition,
+        SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+    )
+    return before, after
+
+
+@pytest.fixture(scope="module")
+def variants(crack_problem):
+    return compile_variants(crack_problem)
+
+
+def _ack_count(system):
+    reference = (
+        system.resync_result.graph
+        if system.resync_result is not None
+        else system.sync_graph
+    )
+    return len(reference.edges_of_kind(EdgeKind.ACK))
+
+
+def test_fig5_report(variants):
+    before, after = variants
+    run_before = before.run(iterations=4)
+    run_after = after.run(iterations=4)
+    rows = [
+        ["interprocessor channels", str(len(before.channel_plans)), "-"],
+        [
+            "ack (synchronization) edges",
+            str(_ack_count(before)),
+            str(_ack_count(after)),
+        ],
+        [
+            "sync messages / 4 iterations (measured)",
+            str(run_before.ack_messages),
+            str(run_after.ack_messages),
+        ],
+        [
+            "execution time (us, 4 iterations)",
+            f"{run_before.execution_time_us:.2f}",
+            f"{run_after.execution_time_us:.2f}",
+        ],
+    ]
+    text = render_table(
+        ["2-PE particle filter", "before resync", "after resync"], rows
+    )
+    emit("Figure 5 (resynchronization, reproduced)", text)
+    save_result("fig5_resync_pf.txt", text)
+
+    assert len(before.channel_plans) == 4
+    assert _ack_count(before) == 4
+    assert _ack_count(after) == 0
+    assert run_after.ack_messages == 0
+    # ack traffic is off the critical path in this mapping; removing it
+    # must not hurt (equal within scheduling noise) and saves bandwidth
+    assert run_after.execution_time_us <= run_before.execution_time_us * 1.01
+    assert run_after.wire_bytes < run_before.wire_bytes
+
+
+def test_fig5_two_messages_between_pes(variants):
+    """Paper §5.3: 'There are two messages passed between the PEs' per
+    direction — one SPI_static weight exchange, one SPI_dynamic particle
+    exchange."""
+    before, _ = variants
+    static = [p for p in before.channel_plans.values() if not p.dynamic]
+    dynamic = [p for p in before.channel_plans.values() if p.dynamic]
+    assert len(static) == 2
+    assert len(dynamic) == 2
+
+
+def test_fig5_benchmark_resynchronize(benchmark, crack_problem):
+    model, _, observations = crack_problem
+    system = build_particle_filter_graph(
+        model, observations, n_particles=N_PARTICLES, n_pes=N_PES
+    )
+
+    def compile_with_resync():
+        return SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+        )
+
+    benchmark(compile_with_resync)

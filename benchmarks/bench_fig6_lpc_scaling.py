@@ -1,0 +1,78 @@
+"""Figure 6 — execution time of actor D vs sample size, n = 1..4 PEs.
+
+Paper: "Figures 6 ... show the performance results obtained for actor D
+of application 1 ... n represents the number of PEs used."  Expected
+shape: time grows with sample size, every added PE lowers it, and the
+gain is sub-linear because the per-PE I/O interface transfers serialize
+on the shared interface processor.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import Figure, speedups
+from repro.apps.lpc import build_parallel_error_graph
+from repro.spi import SpiSystem
+
+SAMPLE_SIZES = (128, 192, 256, 384, 512, 640)
+PE_COUNTS = (1, 2, 3, 4)
+ORDER = 8
+ITERATIONS = 5
+CLOCK_MHZ = 100.0
+
+
+def measure(frames, n_units: int) -> float:
+    """Steady-state per-frame execution time of actor D, microseconds."""
+    system = build_parallel_error_graph(frames, order=ORDER, n_units=n_units)
+    result = SpiSystem.compile(system.graph, system.partition).run(
+        iterations=ITERATIONS
+    )
+    return result.iteration_period_cycles / CLOCK_MHZ
+
+
+@pytest.fixture(scope="module")
+def sweep(speech_frames_factory):
+    times = {}
+    for size in SAMPLE_SIZES:
+        frames = speech_frames_factory(size)
+        for n in PE_COUNTS:
+            times[(size, n)] = measure(frames, n)
+    return times
+
+
+def test_fig6_report(sweep):
+    figure = Figure(
+        title="Figure 6: performance results for actor D of application 1",
+        x_label="Sample size",
+        y_label="Execution time (microseconds), 100 MHz clock",
+    )
+    for n in PE_COUNTS:
+        series = figure.add_series(f"n={n}")
+        for size in SAMPLE_SIZES:
+            series.add(size, sweep[(size, n)])
+    text = figure.render()
+    emit("Figure 6 (reproduced)", text)
+    save_result("fig6_lpc_scaling.csv", figure.to_csv())
+    save_result("fig6_lpc_scaling.txt", text)
+
+    # Shape assertions: monotone in size, monotone in PEs, sub-linear.
+    for n in PE_COUNTS:
+        series = [sweep[(s, n)] for s in SAMPLE_SIZES]
+        assert series == sorted(series)
+    for size in SAMPLE_SIZES:
+        by_pe = [sweep[(size, n)] for n in PE_COUNTS]
+        assert by_pe == sorted(by_pe, reverse=True)
+        gains = speedups(by_pe)
+        assert gains[-1] < 4.0
+
+
+def test_fig6_speedup_grows_with_size(sweep):
+    small = sweep[(SAMPLE_SIZES[0], 1)] / sweep[(SAMPLE_SIZES[0], 4)]
+    large = sweep[(SAMPLE_SIZES[-1], 1)] / sweep[(SAMPLE_SIZES[-1], 4)]
+    assert large > small
+
+
+def test_fig6_benchmark_4pe_512(benchmark, speech_frames_factory):
+    """pytest-benchmark unit: compile+simulate the 4-PE, 512-sample point."""
+    frames = speech_frames_factory(512)
+    benchmark(measure, frames, 4)

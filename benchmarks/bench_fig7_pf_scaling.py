@@ -1,0 +1,74 @@
+"""Figure 7 — particle filter execution time vs particle count, n = 1, 2.
+
+Paper: "for this system [the number of particles] varies from 50 to 300"
+and only 2 PEs fit the device.  Expected shape: time grows with N, the
+2-PE version wins everywhere, speedup < 2 and improving with N (the
+resampling exchange amortises).
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.analysis import Figure
+from repro.apps.particle_filter import build_particle_filter_graph
+from repro.spi import SpiSystem
+
+PARTICLE_COUNTS = (50, 100, 150, 200, 250, 300)
+PE_COUNTS = (1, 2)
+ITERATIONS = 6
+CLOCK_MHZ = 100.0
+
+
+def measure(model, observations, n_particles: int, n_pes: int) -> float:
+    """Steady-state per-iteration filter time, microseconds."""
+    system = build_particle_filter_graph(
+        model, observations, n_particles=n_particles, n_pes=n_pes
+    )
+    result = SpiSystem.compile(system.graph, system.partition).run(
+        iterations=ITERATIONS
+    )
+    return result.iteration_period_cycles / CLOCK_MHZ
+
+
+@pytest.fixture(scope="module")
+def sweep(crack_problem):
+    model, _, observations = crack_problem
+    return {
+        (particles, n): measure(model, observations, particles, n)
+        for particles in PARTICLE_COUNTS
+        for n in PE_COUNTS
+    }
+
+
+def test_fig7_report(sweep):
+    figure = Figure(
+        title="Figure 7: performance results for application 2",
+        x_label="No. of particles",
+        y_label="Execution time (microseconds), 100 MHz clock",
+    )
+    for n in PE_COUNTS:
+        series = figure.add_series(f"n={n}")
+        for particles in PARTICLE_COUNTS:
+            series.add(particles, sweep[(particles, n)])
+    text = figure.render()
+    emit("Figure 7 (reproduced)", text)
+    save_result("fig7_pf_scaling.csv", figure.to_csv())
+    save_result("fig7_pf_scaling.txt", text)
+
+    for n in PE_COUNTS:
+        series = [sweep[(p, n)] for p in PARTICLE_COUNTS]
+        assert series == sorted(series)
+    for particles in PARTICLE_COUNTS:
+        assert sweep[(particles, 2)] < sweep[(particles, 1)]
+
+
+def test_fig7_speedup_below_two_and_growing(sweep):
+    gains = [sweep[(p, 1)] / sweep[(p, 2)] for p in PARTICLE_COUNTS]
+    assert all(1.0 < g < 2.0 for g in gains)
+    assert gains[-1] > gains[0]
+
+
+def test_fig7_benchmark_2pe_300(benchmark, crack_problem):
+    """pytest-benchmark unit: the 2-PE, 300-particle point."""
+    model, _, observations = crack_problem
+    benchmark(measure, model, observations, 300, 2)

@@ -1,0 +1,69 @@
+"""Table 1 — FPGA resources, 4-PE implementation of actor D (app 1).
+
+Paper's table shape: a "Full system" row (percent of the device) and an
+"SPI library (relative to full system)" row over slices / slice FFs /
+4-input LUTs / Block RAMs.  The headline facts to preserve: the SPI
+library is a minor share of the fabric (paper: ~12-14 %), owns a
+disproportionate share of the Block RAMs (paper: 50 % — the dual-ported
+receive buffers), and uses zero DSP48s.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.apps.lpc import build_parallel_error_graph
+from repro.platform import VIRTEX4_SX35
+from repro.spi import SpiSystem
+
+N_UNITS = 4
+ORDER = 8
+FRAME_SIZE = 256
+
+
+def compile_system(speech_frames_factory):
+    frames = speech_frames_factory(FRAME_SIZE)
+    system = build_parallel_error_graph(frames, order=ORDER, n_units=N_UNITS)
+    return SpiSystem.compile(system.graph, system.partition)
+
+
+@pytest.fixture(scope="module")
+def report(speech_frames_factory):
+    spi = compile_system(speech_frames_factory)
+    return spi.fpga_report(
+        device=VIRTEX4_SX35,
+        title=(
+            "Table 1: FPGA resource requirements for 4 PE implementation "
+            "of actor D of application 1"
+        ),
+    )
+
+
+def test_table1_report(report):
+    text = report.render()
+    emit("Table 1 (reproduced)", text)
+    save_result("table1_lpc_resources.txt", text)
+
+
+def test_table1_spi_is_minor_fabric_share(report):
+    relative = report.spi_relative_percent()
+    assert 5.0 < relative["slices"] < 35.0
+    assert 5.0 < relative["slice_ffs"] < 35.0
+    assert 5.0 < relative["lut4"] < 35.0
+
+
+def test_table1_spi_owns_half_the_brams(report):
+    assert report.spi_relative_percent()["bram"] == pytest.approx(50.0, abs=15)
+
+
+def test_table1_spi_uses_no_dsp48(report):
+    assert report.spi_library.dsp48 == 0
+    assert report.spi_relative_percent()["dsp48"] == 0.0
+
+
+def test_table1_system_fits_device(report):
+    assert VIRTEX4_SX35.fits(report.full_system)
+
+
+def test_table1_benchmark_compile(benchmark, speech_frames_factory):
+    """pytest-benchmark unit: full SPI compilation of the 4-PE system."""
+    benchmark(compile_system, speech_frames_factory)

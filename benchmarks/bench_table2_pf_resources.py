@@ -1,0 +1,74 @@
+"""Table 2 — FPGA resources, 2-PE particle filter (app 2).
+
+Paper's facts to preserve: the PF datapath is so heavy that "only 2 PEs
+could be accommodated" on the device; the SPI library's fabric share is
+tiny (well below the LPC case) with zero DSP48s, while the full system
+is DSP-heavy.
+"""
+
+import pytest
+
+from conftest import emit, save_result
+from repro.apps.particle_filter import build_particle_filter_graph
+from repro.platform import VIRTEX4_SX35
+from repro.spi import SpiSystem
+
+N_PARTICLES = 200
+
+
+def compile_system(crack_problem, n_pes=2, particles=N_PARTICLES):
+    model, _, observations = crack_problem
+    system = build_particle_filter_graph(
+        model, observations, n_particles=particles, n_pes=n_pes
+    )
+    return SpiSystem.compile(system.graph, system.partition)
+
+
+@pytest.fixture(scope="module")
+def report(crack_problem):
+    spi = compile_system(crack_problem)
+    return spi.fpga_report(
+        device=VIRTEX4_SX35,
+        title=(
+            "Table 2: FPGA resource requirements for 2 PE implementation "
+            "of application 2"
+        ),
+    )
+
+
+def test_table2_report(report):
+    text = report.render()
+    emit("Table 2 (reproduced)", text)
+    save_result("table2_pf_resources.txt", text)
+
+
+def test_table2_spi_fabric_share_tiny(report):
+    relative = report.spi_relative_percent()
+    assert relative["slices"] < 5.0
+    assert relative["slice_ffs"] < 5.0
+    assert relative["lut4"] < 5.0
+
+
+def test_table2_spi_uses_no_dsp48(report):
+    assert report.spi_library.dsp48 == 0
+
+
+def test_table2_full_system_is_dsp_heavy(report):
+    assert report.device_percent()["dsp48"] > 15.0
+
+
+def test_table2_two_pes_fit_three_do_not(crack_problem):
+    """The paper's capacity observation, reproduced structurally."""
+    two = compile_system(crack_problem, n_pes=2, particles=200)
+    assert VIRTEX4_SX35.fits(
+        two.fpga_report(device=VIRTEX4_SX35).full_system
+    )
+    three = compile_system(crack_problem, n_pes=3, particles=201)
+    assert not VIRTEX4_SX35.fits(
+        three.fpga_report(device=VIRTEX4_SX35).full_system
+    )
+
+
+def test_table2_benchmark_compile(benchmark, crack_problem):
+    """pytest-benchmark unit: full SPI compilation of the 2-PE filter."""
+    benchmark(compile_system, crack_problem)

@@ -1,0 +1,63 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench target regenerates one table or figure of the paper:
+it sweeps the paper's parameters on the simulated platform, prints the
+same rows/series the paper reports (run ``pytest benchmarks/ -s`` to see
+them), writes a CSV next to this file under ``results/``, asserts the
+qualitative shape, and times one representative unit of work through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table/series under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+def emit(title: str, text: str) -> None:
+    """Print a reproduced artefact (visible with ``pytest -s``)."""
+    banner = "=" * len(title)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def speech_frames_factory():
+    """Frame sets per (total, size) — cached across benches."""
+    from repro.apps.lpc import frame_stream
+
+    cache = {}
+
+    def factory(frame_size: int, count: int = 2):
+        key = (frame_size, count)
+        if key not in cache:
+            cache[key] = frame_stream(
+                total_samples=count * frame_size, frame_size=frame_size
+            )
+        return cache[key]
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def crack_problem():
+    """One crack-growth tracking problem shared by the PF benches."""
+    from repro.apps.particle_filter import (
+        CrackGrowthModel,
+        simulate_crack_history,
+    )
+
+    model = CrackGrowthModel()
+    truth, observations = simulate_crack_history(model, steps=8, seed=7)
+    return model, truth, observations

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Multichannel adaptive noise cancellation over SPI (third domain app).
+
+Eight sensor channels, each carrying a sinusoid buried in filtered
+broadband noise, are cleaned by per-channel NLMS cancellers distributed
+over a bank of hardware PEs.  Block sizes are fixed, so every channel
+compiles to **SPI_static** — the one-word-header fast path — and the
+BBS protocol (the I/O round trip bounds every buffer).
+
+Run:  python examples/adaptive_noise_canceller.py
+"""
+
+import numpy as np
+
+from repro import SpiSystem
+from repro.analysis import render_table
+from repro.apps.adaptive import build_multichannel_canceller
+
+N_CHANNELS = 6
+BLOCK = 32
+TAPS = 8
+ITERATIONS = 20
+CLOCK_MHZ = 100.0
+
+
+def main() -> None:
+    # -- scaling over PE counts ----------------------------------------------
+    rows = []
+    base = None
+    for n_pes in (1, 2, 3, 5):
+        system = build_multichannel_canceller(
+            n_channels=N_CHANNELS, n_pes=n_pes, block=BLOCK, taps=TAPS,
+            samples=1024,
+        )
+        spi = SpiSystem.compile(system.graph, system.partition)
+        result = spi.run(iterations=ITERATIONS)
+        us = result.iteration_period_cycles / CLOCK_MHZ
+        if base is None:
+            base = us
+        rows.append(
+            [
+                str(n_pes),
+                f"{us:.2f}",
+                f"{base / us:.2f}x",
+                str(len(spi.channel_plans)),
+            ]
+        )
+        last_system, last_spi = system, spi
+    print(render_table(
+        ["PEs", "us per block round", "speedup", "SPI channels"], rows
+    ))
+
+    # -- channel plan of the largest configuration -----------------------------
+    plan = next(iter(last_spi.channel_plans.values()))
+    print(f"\nall channels: "
+          f"{'SPI_dynamic' if plan.dynamic else 'SPI_static'} / "
+          f"{plan.protocol} (static block sizes need no VTS)")
+
+    # -- cancellation quality ---------------------------------------------------
+    print("\nnoise attenuation per channel (steady state):")
+    for channel in range(N_CHANNELS):
+        before, after = last_system.residual_noise_power(channel)
+        attenuation = 10 * np.log10(before / max(after, 1e-12))
+        print(f"  channel {channel}: {before:.4f} -> {after:.5f}  "
+              f"({attenuation:.1f} dB)")
+
+
+if __name__ == "__main__":
+    main()

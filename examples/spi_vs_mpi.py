@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Head-to-head: SPI against a generic MPI-like layer (paper §1).
+
+Compiles the same application, partition and platform against both
+communication layers and reports where the MPI overheads (envelopes,
+matching, eager copies, rendezvous handshakes) go, across message sizes.
+
+Run:  python examples/spi_vs_mpi.py
+"""
+
+from repro import DataflowGraph, MpiSystem, Partition, SpiSystem
+from repro.analysis import render_table
+
+
+def make_pipeline(rate: int, token_bytes: int = 4):
+    """A -> B -> C moving ``rate`` tokens per firing across 2 PEs."""
+    graph = DataflowGraph(f"pipe_{rate}")
+    a = graph.actor("A", cycles=60)
+    b = graph.actor("B", cycles=120)
+    c = graph.actor("C", cycles=40)
+    a.add_output("o", rate=rate, token_bytes=token_bytes)
+    b.add_input("i", rate=rate, token_bytes=token_bytes)
+    b.add_output("o", rate=rate, token_bytes=token_bytes)
+    c.add_input("i", rate=rate, token_bytes=token_bytes)
+    graph.connect((a, "o"), (b, "i"))
+    graph.connect((b, "o"), (c, "i"))
+    partition = Partition.manual(graph, {"A": 0, "B": 1, "C": 0})
+    return graph, partition
+
+
+def main() -> None:
+    iterations = 30
+    rows = []
+    for rate in (1, 8, 64, 256):
+        graph, partition = make_pipeline(rate)
+        spi = SpiSystem.compile(graph, partition).run(iterations=iterations)
+        graph, partition = make_pipeline(rate)
+        mpi_system = MpiSystem.compile(graph, partition)
+        mpi = mpi_system.run(iterations=iterations)
+        mode = (
+            "rendezvous"
+            if any(mpi_system.channel_modes.values())
+            else "eager"
+        )
+        rows.append(
+            [
+                f"{rate * 4}B",
+                mode,
+                f"{spi.execution_time_us:.1f}",
+                f"{mpi.execution_time_us:.1f}",
+                f"{mpi.execution_time_us / spi.execution_time_us:.2f}x",
+                str(spi.overhead_bytes),
+                str(mpi.overhead_bytes),
+            ]
+        )
+    print(render_table(
+        [
+            "message",
+            "MPI mode",
+            "SPI us",
+            "MPI us",
+            "SPI speedup",
+            "SPI overhead B",
+            "MPI overhead B",
+        ],
+        rows,
+    ))
+    print(
+        "\nSPI wins twice: tiny compile-time headers (4-8 bytes vs a "
+        "24-byte envelope)\nand no run-time matching or handshakes — the "
+        "dataflow graph already resolved\nevery endpoint at compile time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reporting and derived metrics for the experiment harness."""
+
+from repro.analysis.metrics import (
+    SweepPoint,
+    first_output_latency,
+    pipeline_fill_latency,
+    amdahl_bound,
+    crossover_x,
+    parallel_efficiency,
+    speedups,
+    steady_state_us,
+)
+from repro.analysis.report import Figure, Series, render_figure, render_table
+
+__all__ = [
+    "SweepPoint", "first_output_latency", "pipeline_fill_latency", "amdahl_bound", "crossover_x", "parallel_efficiency",
+    "speedups", "steady_state_us",
+    "Figure", "Series", "render_figure", "render_table",
+]

@@ -1,0 +1,121 @@
+"""Table and series renderers for the experiment harness.
+
+The benchmarks print the same *shapes* the paper reports: figure 6/7 are
+series of execution time against a swept parameter (one series per PE
+count), tables 1/2 are resource-utilisation tables.  This module holds
+the shared ASCII/CSV rendering so every bench target reports uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Series", "Figure", "render_table", "render_figure"]
+
+Number = Union[int, float]
+
+
+@dataclass
+class Series:
+    """One labelled curve of a figure (e.g. ``n=2``)."""
+
+    label: str
+    x: List[Number] = field(default_factory=list)
+    y: List[Number] = field(default_factory=list)
+
+    def add(self, x: Number, y: Number) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def validate(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+
+
+@dataclass
+class Figure:
+    """A reproduced figure: multiple series over a shared x axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(self, label: str) -> Series:
+        series = Series(label)
+        self.series.append(series)
+        return series
+
+    def to_csv(self) -> str:
+        """Wide CSV: one x column, one column per series."""
+        for series in self.series:
+            series.validate()
+        xs = sorted({x for series in self.series for x in series.x})
+        header = [self.x_label] + [s.label for s in self.series]
+        lines = [",".join(header)]
+        lookup = [
+            {x: y for x, y in zip(s.x, s.y)} for s in self.series
+        ]
+        for x in xs:
+            row = [str(x)]
+            for table in lookup:
+                value = table.get(x)
+                row.append("" if value is None else f"{value:.4f}")
+            lines.append(",".join(row))
+        return "\n".join(lines)
+
+    def render(self, width: int = 12) -> str:
+        """ASCII rendering: the numbers of the figure as a table."""
+        for series in self.series:
+            series.validate()
+        xs = sorted({x for series in self.series for x in series.x})
+        header = [self.x_label] + [s.label for s in self.series]
+        rows: List[List[str]] = []
+        lookup = [
+            {x: y for x, y in zip(s.x, s.y)} for s in self.series
+        ]
+        for x in xs:
+            row = [f"{x}"]
+            for table in lookup:
+                value = table.get(x)
+                row.append("-" if value is None else f"{value:.2f}")
+            rows.append(row)
+        return "\n".join(
+            [
+                self.title,
+                f"({self.y_label})",
+                render_table(header, rows),
+            ]
+        )
+
+
+def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = len(header)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, header has {columns}"
+            )
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        if rows
+        else len(str(header[i]))
+        for i in range(columns)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure(figure: Figure) -> str:
+    """Convenience alias for ``figure.render()``."""
+    return figure.render()

@@ -1,0 +1,1 @@
+"""Paper applications: LPC speech compression and particle-filter prognosis."""

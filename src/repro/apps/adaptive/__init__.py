@@ -1,0 +1,17 @@
+"""Third application domain: multichannel LMS adaptive noise cancellation."""
+
+from repro.apps.adaptive.lms import LmsFilter, fir_filter, lms_block_cycles
+from repro.apps.adaptive.pipeline import (
+    ChannelWorkload,
+    MultichannelCancellerSystem,
+    build_multichannel_canceller,
+    canceller_resources,
+    make_channel_workload,
+)
+
+__all__ = [
+    "LmsFilter", "fir_filter", "lms_block_cycles",
+    "ChannelWorkload", "MultichannelCancellerSystem",
+    "build_multichannel_canceller", "canceller_resources",
+    "make_channel_workload",
+]

@@ -1,0 +1,262 @@
+"""Dataflow actors of the LPC speech-compression application (paper fig. 2).
+
+* ``A`` reads a segment of input data (one frame per firing),
+* ``B`` implements the FFT operation on the input samples,
+* ``C`` performs LU decomposition to find the predictor coefficients,
+* ``D`` generates the error on the samples (the parallelised actor),
+* ``E`` implements Huffman coding on the error samples.
+
+Each actor carries a functional kernel (real DSP on real tokens), a
+hardware cycle model, and a Virtex-4 resource estimate; the three views
+are what the timing benchmarks, functional tests and area tables use
+respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.lpc.fft import fft_cycles, is_power_of_two, power_spectrum
+from repro.apps.lpc.huffman import build_huffman_code, huffman_cycles
+from repro.apps.lpc.linalg import lu_cycles
+from repro.apps.lpc.lpc import (
+    Quantizer,
+    autocorr_cycles,
+    error_cycles,
+    lpc_coefficients,
+    prediction_error,
+)
+from repro.platform.fpga import ResourceVector, estimate_datapath
+
+__all__ = [
+    "FrameReader",
+    "SpectralAnalyzer",
+    "CoefficientSolver",
+    "ErrorGenerator",
+    "HuffmanEncoder",
+    "next_pow2",
+    "reader_resources",
+    "fft_resources",
+    "solver_resources",
+    "error_unit_resources",
+    "huffman_resources",
+    "io_interface_resources",
+]
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+class FrameReader:
+    """Actor A: emits one input frame per firing (cycling its frame list)."""
+
+    def __init__(self, frames: Sequence[np.ndarray]) -> None:
+        if not len(frames):
+            raise ValueError("need at least one frame")
+        self.frames = [np.asarray(f, dtype=np.float64) for f in frames]
+
+    def kernel(self, firing_index: int, inputs: Dict[str, list]) -> Dict[str, list]:
+        frame = self.frames[firing_index % len(self.frames)]
+        return {"frame": [{"frame": frame}]}
+
+    def cycles(self, firing_index: int, inputs: Dict[str, list]) -> int:
+        frame = self.frames[firing_index % len(self.frames)]
+        return frame.shape[0]  # one sample streamed in per cycle
+
+
+class SpectralAnalyzer:
+    """Actor B: FFT of the (zero-padded) frame; the frame passes through."""
+
+    def kernel(self, firing_index: int, inputs: Dict[str, list]) -> Dict[str, list]:
+        token = inputs["frame"][0]
+        frame = token["frame"]
+        padded = next_pow2(frame.shape[0])
+        buffer = np.zeros(padded)
+        buffer[: frame.shape[0]] = frame
+        spectrum = power_spectrum(buffer)
+        return {"analyzed": [{"frame": frame, "spectrum": spectrum}]}
+
+    def cycles(self, firing_index: int, inputs: Dict[str, list]) -> int:
+        token = inputs["frame"][0] if inputs.get("frame") else None
+        n = next_pow2(token["frame"].shape[0]) if token else 256
+        return fft_cycles(n)
+
+
+class CoefficientSolver:
+    """Actor C: autocorrelation + LU solve -> predictor coefficients."""
+
+    def __init__(self, order: int) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+
+    def kernel(self, firing_index: int, inputs: Dict[str, list]) -> Dict[str, list]:
+        token = inputs["analyzed"][0]
+        frame = token["frame"]
+        coefficients = lpc_coefficients(frame, self.order)
+        return {"model": [{"frame": frame, "coefficients": coefficients}]}
+
+    def cycles(self, firing_index: int, inputs: Dict[str, list]) -> int:
+        token = inputs["analyzed"][0] if inputs.get("analyzed") else None
+        n = token["frame"].shape[0] if token else 256
+        return autocorr_cycles(n, self.order) + lu_cycles(self.order)
+
+
+class ErrorGenerator:
+    """Actor D: prediction-error (residual) computation.
+
+    ``section`` selects the slice this instance computes when several
+    instances run in parallel (paper §5.2: the frame is "split into
+    overlapping sections" and each PE finds the error values of its
+    sections); the overlap provides the ``M`` samples of prediction
+    history before the section start.
+    """
+
+    def __init__(self, n_units: int = 1, unit_index: int = 0) -> None:
+        if not 0 <= unit_index < n_units:
+            raise ValueError("unit_index must be in [0, n_units)")
+        self.n_units = n_units
+        self.unit_index = unit_index
+
+    def section_bounds(self, frame_size: int) -> tuple:
+        chunk = -(-frame_size // self.n_units)  # ceil division
+        start = self.unit_index * chunk
+        stop = min(frame_size, start + chunk)
+        return start, stop
+
+    def kernel(self, firing_index: int, inputs: Dict[str, list]) -> Dict[str, list]:
+        token = inputs["model"][0]
+        frame = token["frame"]
+        coefficients = token["coefficients"]
+        start, stop = self.section_bounds(frame.shape[0])
+        order = coefficients.shape[0]
+        overlap_start = max(0, start - order)
+        section = frame[overlap_start:stop]
+        errors = prediction_error(section, coefficients)[start - overlap_start :]
+        return {"errors": [{"errors": errors, "start": start}]}
+
+    def cycles(self, firing_index: int, inputs: Dict[str, list]) -> int:
+        token = inputs["model"][0] if inputs.get("model") else None
+        if token is None:
+            return error_cycles(64, 8)
+        start, stop = self.section_bounds(token["frame"].shape[0])
+        return error_cycles(stop - start, token["coefficients"].shape[0])
+
+
+class HuffmanEncoder:
+    """Actor E: quantise the residual and Huffman-encode the codes.
+
+    Collects the compressed frames in ``self.compressed`` so tests and
+    examples can decode and verify losslessness.
+    """
+
+    def __init__(self, quantizer: Optional[Quantizer] = None) -> None:
+        self.quantizer = quantizer or Quantizer(bits=8, full_scale=1.0)
+        self.compressed: List[dict] = []
+
+    def kernel(self, firing_index: int, inputs: Dict[str, list]) -> Dict[str, list]:
+        token = inputs["errors"][0]
+        errors = token["errors"]
+        codes = self.quantizer.quantize(errors)
+        frequencies: Dict[int, int] = {}
+        for code in codes:
+            frequencies[int(code)] = frequencies.get(int(code), 0) + 1
+        huffman = build_huffman_code(frequencies)
+        bitstream = huffman.encode([int(c) for c in codes])
+        record = {
+            "bits": bitstream,
+            "codebook": huffman.codebook,
+            "n_samples": int(codes.shape[0]),
+        }
+        self.compressed.append(record)
+        return {"compressed": [record]}
+
+    def cycles(self, firing_index: int, inputs: Dict[str, list]) -> int:
+        token = inputs["errors"][0] if inputs.get("errors") else None
+        n = token["errors"].shape[0] if token is not None else 256
+        return huffman_cycles(n)
+
+
+# -- Virtex-4 resource estimates of the hardware actors -----------------------
+
+
+def reader_resources(frame_bytes: int) -> ResourceVector:
+    """Actor A: input staging buffer + address generation."""
+    return estimate_datapath(
+        registers_bits=64, logic_lut4=48, state_bytes=frame_bytes
+    )
+
+
+def fft_resources(points: int) -> ResourceVector:
+    """Actor B: radix-2 butterfly (4 mults) + twiddle ROM + ping-pong RAM."""
+    if not is_power_of_two(points):
+        raise ValueError("points must be a power of two")
+    sample_bytes = 4  # complex 16+16 bit
+    return estimate_datapath(
+        multipliers=4,
+        adders=6,
+        registers_bits=256,
+        logic_lut4=180,
+        state_bytes=2 * points * sample_bytes,  # ping-pong working RAM
+    ) + estimate_datapath(state_bytes=points * 2)  # twiddle ROM
+
+
+def solver_resources(order: int) -> ResourceVector:
+    """Actor C: autocorrelation MAC + LU elimination datapath."""
+    matrix_bytes = 4 * order * order
+    return estimate_datapath(
+        multipliers=2,  # autocorr MAC + elimination MAC
+        adders=3,
+        registers_bits=320,
+        logic_lut4=260,
+        state_bytes=matrix_bytes + 4 * order,
+    )
+
+
+def error_unit_resources(max_order: int, chunk_bytes: int) -> ResourceVector:
+    """Actor D (one PE's datapath): M-tap MAC array + section buffers.
+
+    A fully-unrolled order-M predictor (one multiplier per tap), the
+    coefficient register file, accumulate/subtract stages and a
+    dual-ported (ping-pong) section buffer so the next subsection loads
+    while the current one computes.
+    """
+    from repro.platform.fpga import estimate_fifo
+
+    datapath = estimate_datapath(
+        multipliers=max(2, max_order),  # one DSP48 per predictor tap
+        adders=max_order + 2,
+        registers_bits=48 * max_order + 256,  # pipeline + coef registers
+        logic_lut4=90 * max_order // 2 + 320,
+    )
+    section_buffer = estimate_fifo(2 * chunk_bytes, force_bram=True)
+    return datapath + section_buffer
+
+
+def huffman_resources(alphabet: int = 256) -> ResourceVector:
+    """Actor E: code table + bit packer."""
+    return estimate_datapath(
+        registers_bits=96,
+        logic_lut4=140,
+        state_bytes=alphabet * 4,  # code/length table
+    )
+
+
+def io_interface_resources(buffer_bytes: int) -> ResourceVector:
+    """One I/O interface block: frame/coefficient staging memory (bus on
+    one port, datapath on the other — Block RAM) plus address/burst
+    control."""
+    from repro.platform.fpga import estimate_fifo
+
+    control = estimate_datapath(registers_bits=220, logic_lut4=260)
+    staging = estimate_fifo(max(256, buffer_bytes), force_bram=True)
+    return control + staging

@@ -1,0 +1,102 @@
+"""LU decomposition and linear solving (own implementation).
+
+Actor ``C`` of the paper's application 1 "performs LU decomposition to
+find predictor coefficients": the LPC normal equations ``R a = r`` are
+solved by factoring the (Toeplitz) autocorrelation matrix.  We implement
+Doolittle LU with partial pivoting plus the triangular substitutions —
+no ``numpy.linalg``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "lu_decompose",
+    "forward_substitute",
+    "back_substitute",
+    "lu_solve",
+    "solve",
+    "lu_cycles",
+]
+
+
+class SingularMatrixError(ValueError):
+    """The matrix has no (numerically) non-zero pivot."""
+
+
+def lu_decompose(
+    matrix: np.ndarray, pivot_tolerance: float = 1e-12
+) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+    """Doolittle LU with partial pivoting: ``P A = L U``.
+
+    Returns ``(L, U, perm)`` where ``perm`` maps row ``i`` of the
+    factorisation to row ``perm[i]`` of ``A``.
+    """
+    a = np.array(matrix, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"LU needs a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    perm = list(range(n))
+    for k in range(n):
+        pivot_row = k + int(np.argmax(np.abs(a[k:, k])))
+        if abs(a[pivot_row, k]) < pivot_tolerance:
+            raise SingularMatrixError(
+                f"zero pivot in column {k}; matrix is singular"
+            )
+        if pivot_row != k:
+            a[[k, pivot_row]] = a[[pivot_row, k]]
+            perm[k], perm[pivot_row] = perm[pivot_row], perm[k]
+        factors = a[k + 1:, k] / a[k, k]
+        a[k + 1:, k] = factors
+        a[k + 1:, k + 1:] -= np.outer(factors, a[k, k + 1:])
+    lower = np.tril(a, -1) + np.eye(n)
+    upper = np.triu(a)
+    return lower, upper, perm
+
+
+def forward_substitute(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L y = rhs`` for unit-lower-triangular ``L``."""
+    n = lower.shape[0]
+    y = np.zeros(n)
+    for i in range(n):
+        y[i] = rhs[i] - lower[i, :i] @ y[:i]
+    return y
+
+
+def back_substitute(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``U x = rhs`` for upper-triangular ``U``."""
+    n = upper.shape[0]
+    x = np.zeros(n)
+    for i in range(n - 1, -1, -1):
+        x[i] = (rhs[i] - upper[i, i + 1:] @ x[i + 1:]) / upper[i, i]
+    return x
+
+
+def lu_solve(
+    lower: np.ndarray, upper: np.ndarray, perm: List[int], rhs: np.ndarray
+) -> np.ndarray:
+    """Solve ``A x = rhs`` given the factorisation of :func:`lu_decompose`."""
+    permuted = np.asarray(rhs, dtype=np.float64)[perm]
+    return back_substitute(upper, forward_substitute(lower, permuted))
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """One-shot ``A x = b`` through LU."""
+    lower, upper, perm = lu_decompose(matrix)
+    return lu_solve(lower, upper, perm, np.asarray(rhs, dtype=np.float64))
+
+
+def lu_cycles(order: int, cycles_per_mac: int = 1) -> int:
+    """Hardware cycle model of an LU solve of size ``order``.
+
+    Elimination is ~``n^3/3`` multiply-accumulates, the two triangular
+    substitutions ~``n^2`` together; a pipelined MAC retires one per
+    cycle.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    macs = order ** 3 // 3 + order ** 2
+    return macs * cycles_per_mac + order  # +order for load/unload

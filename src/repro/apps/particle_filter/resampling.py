@@ -1,0 +1,182 @@
+"""Resampling: sequential and distributed (the paper's 3-phase scheme).
+
+"In our scheme, the new samples selected are exact replicas of some of
+the old samples, but occurring with multiplicities proportional to
+their previous weights.  For distributed implementation, first
+multiplicity factors for the particles of a given PE are calculated
+locally (local [resampling]).  Then excess new particle values are
+communicated to the other PEs to ensure that all PEs have the same
+number of particles for the following iteration (intra-[resampling])."
+(paper §5.3)
+
+The distributed plan must be computed *identically* on every PE from
+the exchanged partial weight sums — all functions here are
+deterministic given their RNG, and :func:`allocate_targets` /
+:func:`plan_exchanges` use only globally-shared information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "systematic_resample",
+    "multinomial_resample",
+    "multiplicities",
+    "allocate_targets",
+    "plan_exchanges",
+    "local_resample",
+]
+
+
+def systematic_resample(
+    weights: Sequence[float],
+    count: int,
+    offset: float,
+) -> np.ndarray:
+    """Systematic resampling: ``count`` indices from ``weights``.
+
+    ``offset`` in ``[0, 1)`` is the single random number of the scheme;
+    passing it explicitly keeps every PE's draw identical when they
+    share a seeded RNG.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    if w.ndim != 1 or w.shape[0] == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    if not 0.0 <= offset < 1.0:
+        raise ValueError("offset must be in [0, 1)")
+    total = w.sum()
+    if total <= 0:
+        # Degenerate: uniform selection.
+        return np.arange(count, dtype=np.int64) % w.shape[0]
+    positions = (offset + np.arange(count)) / count
+    cumulative = np.cumsum(w) / total
+    cumulative[-1] = 1.0  # guard against rounding
+    return np.searchsorted(cumulative, positions).astype(np.int64)
+
+
+def multinomial_resample(
+    weights: Sequence[float],
+    count: int,
+    rng: np.random.RandomState,
+) -> np.ndarray:
+    """Multinomial resampling (the naive alternative, used in tests)."""
+    w = np.asarray(weights, dtype=np.float64)
+    total = w.sum()
+    if total <= 0:
+        return rng.randint(0, w.shape[0], size=count).astype(np.int64)
+    return rng.choice(w.shape[0], size=count, p=w / total).astype(np.int64)
+
+
+def multiplicities(indices: Sequence[int], population: int) -> np.ndarray:
+    """Per-particle replica counts from resampled indices."""
+    counts = np.zeros(population, dtype=np.int64)
+    for index in indices:
+        if not 0 <= index < population:
+            raise ValueError(f"index {index} out of range")
+        counts[index] += 1
+    return counts
+
+
+def allocate_targets(partial_sums: Sequence[float], total_count: int) -> List[int]:
+    """Per-PE resampled-particle targets from the exchanged weight sums.
+
+    Largest-remainder allocation of ``total_count`` particles
+    proportional to each PE's share of the total weight.  Deterministic
+    (ties broken by PE index), so every PE computes the same vector.
+    """
+    sums = np.asarray(partial_sums, dtype=np.float64)
+    if np.any(sums < 0):
+        raise ValueError("partial weight sums must be non-negative")
+    n_pes = sums.shape[0]
+    total = sums.sum()
+    if total <= 0:
+        base = total_count // n_pes
+        targets = [base] * n_pes
+        for i in range(total_count - base * n_pes):
+            targets[i] += 1
+        return targets
+    shares = sums / total * total_count
+    floors = np.floor(shares).astype(np.int64)
+    remainder = total_count - int(floors.sum())
+    order = sorted(
+        range(n_pes), key=lambda i: (-(shares[i] - floors[i]), i)
+    )
+    targets = floors.tolist()
+    for i in order[:remainder]:
+        targets[i] += 1
+    return [int(t) for t in targets]
+
+
+@dataclass(frozen=True)
+class ExchangePlan:
+    """Who ships how many particles to whom (identical on every PE)."""
+
+    #: per-PE number of locally-resampled particles kept locally
+    kept: Tuple[int, ...]
+    #: flows[src][dst] = particles PE ``src`` sends to PE ``dst``
+    flows: Tuple[Tuple[int, ...], ...]
+
+    def sent_by(self, pe: int) -> int:
+        return sum(self.flows[pe])
+
+    def received_by(self, pe: int) -> int:
+        return sum(row[pe] for row in self.flows)
+
+
+def plan_exchanges(targets: Sequence[int], capacity: int) -> ExchangePlan:
+    """Match surplus PEs to deficit PEs (greedy in PE order).
+
+    ``targets[i]`` is PE i's locally-resampled count, ``capacity`` the
+    per-PE particle budget (N/n).  Deterministic, so every PE derives
+    the same flow matrix from the same targets.
+    """
+    n_pes = len(targets)
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if sum(targets) != capacity * n_pes:
+        raise ValueError(
+            f"targets {list(targets)} do not sum to {capacity * n_pes}"
+        )
+    kept = [min(t, capacity) for t in targets]
+    surplus = {i: targets[i] - capacity for i in range(n_pes) if targets[i] > capacity}
+    deficit = {i: capacity - targets[i] for i in range(n_pes) if targets[i] < capacity}
+    flows = [[0] * n_pes for _ in range(n_pes)]
+    deficit_queue = sorted(deficit.items())
+    for src in sorted(surplus):
+        remaining = surplus[src]
+        while remaining > 0:
+            if not deficit_queue:
+                raise RuntimeError("exchange plan imbalance (internal error)")
+            dst, need = deficit_queue[0]
+            moved = min(remaining, need)
+            flows[src][dst] += moved
+            remaining -= moved
+            if need - moved == 0:
+                deficit_queue.pop(0)
+            else:
+                deficit_queue[0] = (dst, need - moved)
+    return ExchangePlan(
+        kept=tuple(kept),
+        flows=tuple(tuple(row) for row in flows),
+    )
+
+
+def local_resample(
+    particles: np.ndarray,
+    weights: np.ndarray,
+    target: int,
+    offset: float,
+) -> np.ndarray:
+    """Resample ``target`` replicas from a PE's local population."""
+    indices = systematic_resample(weights, target, offset)
+    return np.asarray(particles, dtype=np.float64)[indices]

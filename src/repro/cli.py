@@ -1,0 +1,265 @@
+"""Command-line interface for the SPI reproduction.
+
+Regenerate the paper's tables and figures, or inspect a compiled
+system, without writing any code::
+
+    python -m repro.cli fig6            # actor-D scaling series
+    python -m repro.cli fig7            # particle-filter scaling series
+    python -m repro.cli table1          # LPC 4-PE resource table
+    python -m repro.cli table2          # PF 2-PE resource table
+    python -m repro.cli resync          # fig. 3/5 ack-removal summary
+    python -m repro.cli trace           # Gantt chart of a pipelined chain
+
+Options common to the figure commands: ``--clock-mhz`` (default 100)
+and ``--iterations``.  The full parameter sweeps (more points, CSV
+artefacts) live in ``benchmarks/``; the CLI favours fast feedback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import Figure, render_table
+from repro.platform import VIRTEX4_SX35
+from repro.spi import SpiConfig, SpiSystem
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.apps.lpc import build_parallel_error_graph, frame_stream
+
+    figure = Figure(
+        title="Figure 6: performance results for actor D of application 1",
+        x_label="Sample size",
+        y_label=f"Execution time (us) at {args.clock_mhz:.0f} MHz",
+    )
+    sizes = (128, 256, 512)
+    for n in (1, 2, 3, 4):
+        series = figure.add_series(f"n={n}")
+        for size in sizes:
+            frames = frame_stream(total_samples=2 * size, frame_size=size)
+            system = build_parallel_error_graph(frames, order=8, n_units=n)
+            result = SpiSystem.compile(system.graph, system.partition).run(
+                iterations=args.iterations
+            )
+            series.add(size, result.iteration_period_cycles / args.clock_mhz)
+    print(figure.render())
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.apps.particle_filter import (
+        CrackGrowthModel,
+        build_particle_filter_graph,
+        simulate_crack_history,
+    )
+
+    model = CrackGrowthModel()
+    _, observations = simulate_crack_history(model, steps=args.iterations)
+    figure = Figure(
+        title="Figure 7: performance results for application 2",
+        x_label="No. of particles",
+        y_label=f"Execution time (us) at {args.clock_mhz:.0f} MHz",
+    )
+    for n in (1, 2):
+        series = figure.add_series(f"n={n}")
+        for particles in (50, 100, 200, 300):
+            system = build_particle_filter_graph(
+                model, observations, n_particles=particles, n_pes=n
+            )
+            result = SpiSystem.compile(system.graph, system.partition).run(
+                iterations=args.iterations
+            )
+            series.add(
+                particles, result.iteration_period_cycles / args.clock_mhz
+            )
+    print(figure.render())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.apps.lpc import build_parallel_error_graph, frame_stream
+
+    frames = frame_stream(total_samples=2 * 256, frame_size=256)
+    system = build_parallel_error_graph(frames, order=8, n_units=4)
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    print(
+        compiled.fpga_report(
+            device=VIRTEX4_SX35,
+            title=(
+                "Table 1: FPGA resources, 4-PE implementation of actor D "
+                "(application 1)"
+            ),
+        ).render()
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.apps.particle_filter import (
+        CrackGrowthModel,
+        build_particle_filter_graph,
+        simulate_crack_history,
+    )
+
+    model = CrackGrowthModel()
+    _, observations = simulate_crack_history(model, steps=6)
+    system = build_particle_filter_graph(
+        model, observations, n_particles=200, n_pes=2
+    )
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    print(
+        compiled.fpga_report(
+            device=VIRTEX4_SX35,
+            title=(
+                "Table 2: FPGA resources, 2-PE implementation of "
+                "application 2"
+            ),
+        ).render()
+    )
+    return 0
+
+
+def _cmd_resync(args: argparse.Namespace) -> int:
+    from repro.apps.lpc import build_parallel_error_graph, frame_stream
+    from repro.apps.particle_filter import (
+        CrackGrowthModel,
+        build_particle_filter_graph,
+        simulate_crack_history,
+    )
+
+    rows = []
+    frames = frame_stream(total_samples=2 * 256, frame_size=256)
+    lpc = build_parallel_error_graph(frames, order=8, n_units=3)
+    model = CrackGrowthModel()
+    _, observations = simulate_crack_history(model, steps=4)
+    pf = build_particle_filter_graph(
+        model, observations, n_particles=100, n_pes=2
+    )
+    for label, system in (
+        ("LPC actor D, 3 PEs (fig. 3)", lpc),
+        ("particle filter, 2 PEs (fig. 5)", pf),
+    ):
+        raw = SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=False),
+        ).run(iterations=4)
+        optimised = SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+        ).run(iterations=4)
+        rows.append(
+            [
+                label,
+                str(raw.sync_messages),
+                str(optimised.sync_messages),
+                str(raw.wire_bytes - optimised.wire_bytes),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "system",
+                "sync msgs (raw UBS)",
+                "sync msgs (resync)",
+                "wire bytes saved",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.dataflow import DataflowGraph
+    from repro.mapping import Partition, auto_pipeline
+
+    graph = DataflowGraph("chain")
+    stages = [("load", 400), ("transform", 500), ("store", 300)]
+    actors = [graph.actor(name, cycles=c) for name, c in stages]
+    for left, right in zip(actors, actors[1:]):
+        out = left.add_output(f"to_{right.name}")
+        inp = right.add_input(f"from_{left.name}")
+        graph.connect(out, inp)
+    result = auto_pipeline(graph, stages=3)
+    partition = Partition.manual(result.graph, result.stages)
+    system = SpiSystem.compile(result.graph, partition)
+    run = system.run(iterations=args.iterations, trace=True)
+    print(run.trace.gantt(width=72, upto=min(run.cycles, 4000)))
+    print(
+        f"\nperiod: {run.iteration_period_cycles:.0f} cycles "
+        f"(MCM bound {system.estimated_iteration_period_cycles():.0f}); "
+        f"sync messages/iteration: "
+        f"{run.sync_messages / run.iterations:.1f}"
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.apps.lpc import build_parallel_error_graph, frame_stream
+    from repro.apps.particle_filter import (
+        CrackGrowthModel,
+        build_particle_filter_graph,
+        simulate_crack_history,
+    )
+
+    frames = frame_stream(total_samples=2 * 256, frame_size=256)
+    lpc = build_parallel_error_graph(frames, order=8, n_units=3)
+    model = CrackGrowthModel()
+    _, observations = simulate_crack_history(model, steps=4)
+    pf = build_particle_filter_graph(
+        model, observations, n_particles=100, n_pes=2
+    )
+    for system in (lpc, pf):
+        compiled = SpiSystem.compile(system.graph, system.partition)
+        print(compiled.describe())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="SPI reproduction: regenerate the paper's evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler, description in (
+        ("fig6", _cmd_fig6, "actor-D execution time vs sample size"),
+        ("fig7", _cmd_fig7, "particle-filter execution time vs N"),
+        ("table1", _cmd_table1, "LPC 4-PE FPGA resource table"),
+        ("table2", _cmd_table2, "PF 2-PE FPGA resource table"),
+        ("resync", _cmd_resync, "resynchronization savings (figs. 3/5)"),
+        ("trace", _cmd_trace, "Gantt trace of a pipelined chain"),
+        ("describe", _cmd_describe, "compilation reports of both apps"),
+    ):
+        command = sub.add_parser(name, help=description)
+        command.add_argument(
+            "--clock-mhz", type=float, default=100.0,
+            help="simulated clock frequency (default 100)",
+        )
+        command.add_argument(
+            "--iterations", type=int, default=5,
+            help="graph iterations to simulate (default 5)",
+        )
+        command.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.clock_mhz <= 0:
+        print("error: --clock-mhz must be positive", file=sys.stderr)
+        return 2
+    if args.iterations < 1:
+        print("error: --iterations must be >= 1", file=sys.stderr)
+        return 2
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""SDF edge-buffer bounds.
+
+The VTS buffer formula (paper eq. 1) needs ``c_sdf(e)`` — "an upper bound
+on the buffer size of *e* in terms of the maximum number of tokens that
+coexist on *e* at any given time", computable "using any of the existing
+techniques for computing SDF buffer bounds".  We provide two such
+techniques:
+
+* ``method="simulate"``: run the deterministic PASS of
+  :func:`repro.dataflow.sdf.build_pass` and record the high-water mark on
+  every edge.  This is a *valid* bound for any system that executes that
+  schedule, and it is the tight bound SPI's buffer allocator uses.
+* ``method="conservative"``: the classic schedule-independent bound
+  ``q[src] * prod(e) + delay(e)`` — the total tokens a full iteration can
+  pile onto the edge before the consumer runs at all.  Valid for every
+  admissible single-processor schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dataflow.graph import DataflowGraph, Edge
+from repro.dataflow.sdf import SdfError, build_pass, repetitions_vector
+
+__all__ = ["sdf_buffer_bounds", "simulate_edge_occupancy"]
+
+
+def sdf_buffer_bounds(
+    graph: DataflowGraph,
+    method: str = "simulate",
+    repetitions: Optional[Dict[str, int]] = None,
+) -> Dict[int, int]:
+    """Per-edge token buffer bounds (``edge_id -> max tokens``).
+
+    ``method`` selects the technique (see module docstring).  Both methods
+    require a consistent, deadlock-free static graph.
+    """
+    reps = repetitions if repetitions is not None else repetitions_vector(graph)
+    if method == "conservative":
+        return {
+            e.edge_id: reps[e.src_actor.name] * e.source.rate + e.delay
+            for e in graph.edges
+        }
+    if method == "simulate":
+        return simulate_edge_occupancy(graph, repetitions=reps)
+    raise ValueError(f"unknown buffer-bound method {method!r}")
+
+
+def simulate_edge_occupancy(
+    graph: DataflowGraph,
+    repetitions: Optional[Dict[str, int]] = None,
+    iterations: int = 1,
+) -> Dict[int, int]:
+    """High-water mark of every edge under the deterministic PASS.
+
+    Executes ``iterations`` full graph iterations (the state is periodic,
+    so one iteration already yields the steady-state maximum; more
+    iterations are supported for defence-in-depth in tests).
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    schedule = build_pass(graph, repetitions=repetitions)
+    tokens: Dict[int, int] = {e.edge_id: e.delay for e in graph.edges}
+    high: Dict[int, int] = dict(tokens)
+    for _ in range(iterations):
+        for actor in schedule:
+            for edge in graph.in_edges(actor):
+                tokens[edge.edge_id] -= edge.sink.rate
+                if tokens[edge.edge_id] < 0:
+                    raise SdfError(
+                        f"PASS underflowed edge {edge.name}; schedule is "
+                        f"not admissible"
+                    )
+            for edge in graph.out_edges(actor):
+                tokens[edge.edge_id] += edge.source.rate
+                if tokens[edge.edge_id] > high[edge.edge_id]:
+                    high[edge.edge_id] = tokens[edge.edge_id]
+    return high

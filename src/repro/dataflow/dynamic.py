@@ -1,0 +1,135 @@
+"""Bounded dynamic-rate ports.
+
+SDF forbids run-time variation of production/consumption rates.  The paper
+handles a useful class of dynamic behaviour by *bounding* the variation:
+a dynamic port declares an upper bound on its rate, and the VTS conversion
+(:mod:`repro.dataflow.vts`) turns the varying rate into a *fixed* rate of
+one variable-size packed token per firing.
+
+This module provides the :class:`DynamicRate` annotation plus helpers to
+sample admissible rate sequences, which the token-level simulator and the
+property-based tests use to exercise dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+__all__ = ["DynamicRate", "RateOracle"]
+
+
+@dataclass(frozen=True)
+class DynamicRate:
+    """A run-time varying token rate with a compile-time upper bound.
+
+    Parameters
+    ----------
+    bound:
+        Inclusive upper bound on the number of raw tokens produced or
+        consumed in one firing.  Required: the paper's bounded-memory
+        guarantee (eq. 1) depends on it.
+    minimum:
+        Inclusive lower bound (defaults to 1; a firing that moves zero
+        tokens would break SDF-style precedence reasoning, so it is
+        disallowed by default but may be enabled by passing ``minimum=0``
+        for modelling purposes).
+    """
+
+    bound: int
+    minimum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError(f"DynamicRate bound must be >= 1, got {self.bound}")
+        if not 0 <= self.minimum <= self.bound:
+            raise ValueError(
+                f"DynamicRate minimum must be in [0, bound], got "
+                f"minimum={self.minimum}, bound={self.bound}"
+            )
+
+    def admits(self, rate: int) -> bool:
+        """True when ``rate`` is an admissible instantaneous rate."""
+        return self.minimum <= rate <= self.bound
+
+    def clamp(self, rate: int) -> int:
+        """Clamp an arbitrary integer into the admissible range."""
+        return max(self.minimum, min(self.bound, rate))
+
+    def __repr__(self) -> str:
+        return f"DynamicRate(bound={self.bound}, minimum={self.minimum})"
+
+
+class RateOracle:
+    """Deterministic generator of admissible rate sequences.
+
+    A rate oracle answers "how many raw tokens does firing *k* of this
+    port move?".  It is used by:
+
+    * the token-level simulator, to model data-dependent behaviour
+      without requiring a full functional kernel;
+    * the VTS soundness tests, to drive occupancy up against the computed
+      bounds.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`DynamicRate` this oracle must respect.
+    sequence:
+        Explicit rate sequence (cycled when exhausted), or ``None``.
+    function:
+        ``function(firing_index) -> rate``; mutually exclusive with
+        ``sequence``.  When both are ``None`` the oracle always answers
+        the upper bound (the conservative worst case).
+    """
+
+    def __init__(
+        self,
+        spec: DynamicRate,
+        sequence: Optional[Sequence[int]] = None,
+        function: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if sequence is not None and function is not None:
+            raise ValueError("pass either sequence or function, not both")
+        if sequence is not None:
+            if not sequence:
+                raise ValueError("rate sequence must be non-empty")
+            bad = [r for r in sequence if not spec.admits(r)]
+            if bad:
+                raise ValueError(
+                    f"rates {bad} are outside the admissible range "
+                    f"[{spec.minimum}, {spec.bound}]"
+                )
+        self.spec = spec
+        self._sequence = list(sequence) if sequence is not None else None
+        self._function = function
+
+    def rate(self, firing_index: int) -> int:
+        """Admissible rate for firing ``firing_index`` (0-based)."""
+        if self._sequence is not None:
+            value = self._sequence[firing_index % len(self._sequence)]
+        elif self._function is not None:
+            value = self._function(firing_index)
+            if not self.spec.admits(value):
+                raise ValueError(
+                    f"rate function returned {value} for firing "
+                    f"{firing_index}, outside [{self.spec.minimum}, "
+                    f"{self.spec.bound}]"
+                )
+        else:
+            value = self.spec.bound
+        return value
+
+    def rates(self, count: int) -> Iterator[int]:
+        """First ``count`` rates as an iterator."""
+        return (self.rate(k) for k in range(count))
+
+    @classmethod
+    def constant(cls, spec: DynamicRate, value: int) -> "RateOracle":
+        """Oracle that always answers ``value``."""
+        return cls(spec, sequence=[value])
+
+    @classmethod
+    def worst_case(cls, spec: DynamicRate) -> "RateOracle":
+        """Oracle that always answers the upper bound."""
+        return cls(spec)

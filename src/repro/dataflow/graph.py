@@ -1,0 +1,591 @@
+"""Coarse-grain dataflow graph data structures.
+
+This module provides the basic vocabulary used throughout the SPI
+reproduction: actors with rate-annotated ports, edges with initial delays
+(tokens), and the :class:`DataflowGraph` container that the SDF analyses,
+the VTS conversion, the multiprocessor mapping and the SPI library all
+operate on.
+
+The model follows the conventions of Lee/Messerschmitt SDF and of Sriram &
+Bhattacharyya's *Embedded Multiprocessors* book, which the paper builds on:
+
+* an **actor** is a coarse-grain functional block that *fires* atomically,
+  consuming a fixed number of tokens from each input port and producing a
+  fixed number of tokens on each output port;
+* an **edge** is a conceptually unbounded FIFO connecting one output port
+  to one input port, optionally carrying ``delay`` initial tokens;
+* a **port rate** is an integer for static (SDF) ports, or a
+  :class:`~repro.dataflow.dynamic.DynamicRate` bound for dynamic ports
+  (see :mod:`repro.dataflow.dynamic`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.dataflow.dynamic import DynamicRate
+
+__all__ = [
+    "Direction",
+    "Port",
+    "Actor",
+    "Edge",
+    "DataflowGraph",
+    "GraphError",
+]
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid graph construction or queries."""
+
+
+class Direction:
+    """Port direction constants (plain strings keep reprs readable)."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+Rate = Union[int, DynamicRate]
+
+
+@dataclass
+class Port:
+    """A rate-annotated connection point on an actor.
+
+    Parameters
+    ----------
+    name:
+        Port name, unique within its actor.
+    direction:
+        ``Direction.INPUT`` or ``Direction.OUTPUT``.
+    rate:
+        Tokens consumed/produced per firing.  An ``int`` for SDF ports, a
+        :class:`DynamicRate` for dynamic ports that will be subjected to
+        VTS conversion.
+    token_bytes:
+        Size in bytes of one *raw* (unpacked) token flowing through this
+        port.  Used by the VTS bound computation (paper eq. 1) and by the
+        platform's communication-cost model.
+    """
+
+    name: str
+    direction: str
+    rate: Rate = 1
+    token_bytes: int = 4
+    actor: Optional["Actor"] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.direction not in (Direction.INPUT, Direction.OUTPUT):
+            raise GraphError(f"invalid port direction {self.direction!r}")
+        if isinstance(self.rate, bool) or (
+            isinstance(self.rate, int) and self.rate <= 0
+        ):
+            raise GraphError(
+                f"port {self.name!r}: static rate must be a positive int, "
+                f"got {self.rate!r}"
+            )
+        if not isinstance(self.rate, (int, DynamicRate)):
+            raise GraphError(
+                f"port {self.name!r}: rate must be int or DynamicRate, "
+                f"got {type(self.rate).__name__}"
+            )
+        if self.token_bytes <= 0:
+            raise GraphError(
+                f"port {self.name!r}: token_bytes must be positive"
+            )
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when this port has a run-time varying rate."""
+        return isinstance(self.rate, DynamicRate)
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction == Direction.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction == Direction.OUTPUT
+
+    @property
+    def max_rate(self) -> int:
+        """Upper bound on the port rate (the rate itself for SDF ports)."""
+        if isinstance(self.rate, DynamicRate):
+            return self.rate.bound
+        return self.rate
+
+    @property
+    def qualified_name(self) -> str:
+        owner = self.actor.name if self.actor is not None else "<detached>"
+        return f"{owner}.{self.name}"
+
+
+class Actor:
+    """A coarse-grain dataflow actor.
+
+    An actor owns a set of named ports, an optional functional *kernel*
+    (used by the token-level simulator to compute real output values) and
+    a *cycle model* (used by the platform simulator to charge execution
+    time).
+
+    Parameters
+    ----------
+    name:
+        Unique actor name within its graph.
+    kernel:
+        ``kernel(firing_index, inputs) -> outputs`` where ``inputs`` maps
+        input-port name to the list of consumed tokens and ``outputs``
+        must map every output-port name to the list of produced tokens.
+        ``None`` makes the actor purely structural (token values are
+        opaque placeholders).
+    cycles:
+        Either an ``int`` (cycles per firing) or a callable
+        ``cycles(firing_index, inputs) -> int`` for data-dependent time.
+    params:
+        Free-form parameter dictionary (model order, frame size, ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kernel: Optional[Callable[[int, Dict[str, list]], Dict[str, list]]] = None,
+        cycles: Union[int, Callable[..., int]] = 1,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not name:
+            raise GraphError("actor name must be non-empty")
+        self.name = name
+        self.kernel = kernel
+        self.cycles = cycles
+        self.params: Dict[str, Any] = dict(params or {})
+        self._ports: Dict[str, Port] = {}
+        self.graph: Optional["DataflowGraph"] = None
+
+    # -- port management -------------------------------------------------
+
+    def add_port(self, port: Port) -> Port:
+        """Attach ``port`` to this actor; returns the port for chaining."""
+        if port.name in self._ports:
+            raise GraphError(
+                f"actor {self.name!r} already has a port {port.name!r}"
+            )
+        port.actor = self
+        self._ports[port.name] = port
+        return port
+
+    def add_input(self, name: str, rate: Rate = 1, token_bytes: int = 4) -> Port:
+        """Convenience: create and attach an input port."""
+        return self.add_port(Port(name, Direction.INPUT, rate, token_bytes))
+
+    def add_output(self, name: str, rate: Rate = 1, token_bytes: int = 4) -> Port:
+        """Convenience: create and attach an output port."""
+        return self.add_port(Port(name, Direction.OUTPUT, rate, token_bytes))
+
+    def port(self, name: str) -> Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise GraphError(
+                f"actor {self.name!r} has no port {name!r}; "
+                f"known ports: {sorted(self._ports)}"
+            ) from None
+
+    @property
+    def ports(self) -> Tuple[Port, ...]:
+        return tuple(self._ports.values())
+
+    @property
+    def input_ports(self) -> Tuple[Port, ...]:
+        return tuple(p for p in self._ports.values() if p.is_input)
+
+    @property
+    def output_ports(self) -> Tuple[Port, ...]:
+        return tuple(p for p in self._ports.values() if p.is_output)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True if any port of this actor has a dynamic rate."""
+        return any(p.is_dynamic for p in self._ports.values())
+
+    # -- execution helpers ------------------------------------------------
+
+    def execution_cycles(self, firing_index: int, inputs: Optional[dict] = None) -> int:
+        """Cycles charged for one firing (evaluates a callable model)."""
+        if callable(self.cycles):
+            value = self.cycles(firing_index, inputs or {})
+        else:
+            value = self.cycles
+        if value < 0:
+            raise GraphError(
+                f"actor {self.name!r}: negative execution time {value}"
+            )
+        return int(value)
+
+    def fire(self, firing_index: int, inputs: Dict[str, list]) -> Dict[str, list]:
+        """Run the functional kernel for one firing.
+
+        Structural actors (``kernel is None``) produce ``rate`` copies of
+        ``None`` on each output port, which is sufficient for pure timing
+        simulations.
+        """
+        if self.kernel is None:
+            return {
+                p.name: [None] * p.max_rate for p in self.output_ports
+            }
+        outputs = self.kernel(firing_index, inputs)
+        missing = {p.name for p in self.output_ports} - set(outputs)
+        if missing:
+            raise GraphError(
+                f"actor {self.name!r} kernel did not produce outputs for "
+                f"ports {sorted(missing)}"
+            )
+        return outputs
+
+    def __repr__(self) -> str:
+        return f"Actor({self.name!r})"
+
+
+class Edge:
+    """A FIFO channel between an output port and an input port.
+
+    ``delay`` is the number of initial tokens on the channel (unit-delay
+    feedback edges are how SDF expresses iteration boundaries).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        source: Port,
+        sink: Port,
+        delay: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if not source.is_output:
+            raise GraphError(
+                f"edge source {source.qualified_name} is not an output port"
+            )
+        if not sink.is_input:
+            raise GraphError(
+                f"edge sink {sink.qualified_name} is not an input port"
+            )
+        if delay < 0:
+            raise GraphError("edge delay (initial tokens) must be >= 0")
+        self.source = source
+        self.sink = sink
+        self.delay = delay
+        self.edge_id = next(Edge._ids)
+        self.name = name or (
+            f"{source.qualified_name}->{sink.qualified_name}"
+        )
+        #: optional concrete values for the ``delay`` initial tokens; when
+        #: None the functional simulator uses ``None`` placeholders
+        self.initial_tokens: Optional[list] = None
+
+    def set_initial_tokens(self, values: list) -> None:
+        """Provide concrete values for the initial (delay) tokens."""
+        if len(values) != self.delay:
+            raise GraphError(
+                f"edge {self.name}: {len(values)} initial values for "
+                f"delay {self.delay}"
+            )
+        self.initial_tokens = list(values)
+
+    @property
+    def src_actor(self) -> Actor:
+        assert self.source.actor is not None
+        return self.source.actor
+
+    @property
+    def snk_actor(self) -> Actor:
+        assert self.sink.actor is not None
+        return self.sink.actor
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True if either endpoint has a dynamic rate."""
+        return self.source.is_dynamic or self.sink.is_dynamic
+
+    @property
+    def is_selfloop(self) -> bool:
+        return self.src_actor is self.snk_actor
+
+    @property
+    def token_bytes(self) -> int:
+        """Bytes per token travelling on this edge.
+
+        The producer defines the token layout; a mismatch with the
+        consumer's declared token size is rejected at graph validation.
+        """
+        return self.source.token_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Edge({self.src_actor.name}.{self.source.name} -> "
+            f"{self.snk_actor.name}.{self.sink.name}, delay={self.delay})"
+        )
+
+
+class DataflowGraph:
+    """A coarse-grain dataflow graph (SDF or bounded-dynamic).
+
+    The graph owns its actors and edges.  Ports may be left unconnected
+    only if they are declared as *interface* ports via
+    :meth:`mark_interface`; :meth:`validate` enforces this.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._actors: Dict[str, Actor] = {}
+        self._edges: List[Edge] = []
+        self._interface_ports: set = set()
+
+    # -- construction -----------------------------------------------------
+
+    def add_actor(self, actor: Actor) -> Actor:
+        if actor.name in self._actors:
+            raise GraphError(f"duplicate actor name {actor.name!r}")
+        actor.graph = self
+        self._actors[actor.name] = actor
+        return actor
+
+    def actor(
+        self,
+        name: str,
+        kernel: Optional[Callable] = None,
+        cycles: Union[int, Callable[..., int]] = 1,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Actor:
+        """Create, register and return a new actor."""
+        return self.add_actor(Actor(name, kernel=kernel, cycles=cycles, params=params))
+
+    def connect(
+        self,
+        source: Union[Port, Tuple[Actor, str]],
+        sink: Union[Port, Tuple[Actor, str]],
+        delay: int = 0,
+        name: Optional[str] = None,
+    ) -> Edge:
+        """Create an edge between two ports (or ``(actor, port_name)`` pairs)."""
+        src = source if isinstance(source, Port) else source[0].port(source[1])
+        snk = sink if isinstance(sink, Port) else sink[0].port(sink[1])
+        for port in (src, snk):
+            if port.actor is None or port.actor.name not in self._actors:
+                raise GraphError(
+                    f"port {port.qualified_name} does not belong to this graph"
+                )
+        if any(e.source is src for e in self._edges):
+            raise GraphError(
+                f"output port {src.qualified_name} is already connected"
+            )
+        if any(e.sink is snk for e in self._edges):
+            raise GraphError(
+                f"input port {snk.qualified_name} is already connected"
+            )
+        edge = Edge(src, snk, delay=delay, name=name)
+        self._edges.append(edge)
+        return edge
+
+    def mark_interface(self, port: Port) -> None:
+        """Declare ``port`` as an external interface (may stay unconnected)."""
+        self._interface_ports.add(id(port))
+
+    def is_interface_port(self, port: Port) -> bool:
+        """True when ``port`` was declared an external interface."""
+        return id(port) in self._interface_ports
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def actors(self) -> Tuple[Actor, ...]:
+        return tuple(self._actors.values())
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(self._edges)
+
+    def get_actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise GraphError(
+                f"graph {self.name!r} has no actor {name!r}; "
+                f"known actors: {sorted(self._actors)}"
+            ) from None
+
+    def edge_between(self, src_name: str, snk_name: str) -> Edge:
+        """First edge from actor ``src_name`` to actor ``snk_name``."""
+        for edge in self._edges:
+            if edge.src_actor.name == src_name and edge.snk_actor.name == snk_name:
+                return edge
+        raise GraphError(f"no edge {src_name} -> {snk_name}")
+
+    def in_edges(self, actor: Actor) -> List[Edge]:
+        return [e for e in self._edges if e.snk_actor is actor]
+
+    def out_edges(self, actor: Actor) -> List[Edge]:
+        return [e for e in self._edges if e.src_actor is actor]
+
+    def successors(self, actor: Actor) -> List[Actor]:
+        seen: Dict[str, Actor] = {}
+        for edge in self.out_edges(actor):
+            seen.setdefault(edge.snk_actor.name, edge.snk_actor)
+        return list(seen.values())
+
+    def predecessors(self, actor: Actor) -> List[Actor]:
+        seen: Dict[str, Actor] = {}
+        for edge in self.in_edges(actor):
+            seen.setdefault(edge.src_actor.name, edge.src_actor)
+        return list(seen.values())
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True if any edge in the graph carries a dynamic rate."""
+        return any(e.is_dynamic for e in self._edges)
+
+    @property
+    def dynamic_edges(self) -> List[Edge]:
+        return [e for e in self._edges if e.is_dynamic]
+
+    @property
+    def static_edges(self) -> List[Edge]:
+        return [e for e in self._edges if not e.is_dynamic]
+
+    # -- validation & structure -------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`GraphError` on failure."""
+        connected = set()
+        for edge in self._edges:
+            connected.add(id(edge.source))
+            connected.add(id(edge.sink))
+            if edge.source.token_bytes != edge.sink.token_bytes:
+                raise GraphError(
+                    f"edge {edge.name}: producer token size "
+                    f"{edge.source.token_bytes}B != consumer token size "
+                    f"{edge.sink.token_bytes}B"
+                )
+        for actor in self._actors.values():
+            for port in actor.ports:
+                if id(port) in connected or id(port) in self._interface_ports:
+                    continue
+                raise GraphError(
+                    f"port {port.qualified_name} is unconnected and not an "
+                    f"interface port"
+                )
+
+    def is_connected(self) -> bool:
+        """True if the undirected version of the graph is connected."""
+        if not self._actors:
+            return True
+        adjacency: Dict[str, set] = {name: set() for name in self._actors}
+        for edge in self._edges:
+            adjacency[edge.src_actor.name].add(edge.snk_actor.name)
+            adjacency[edge.snk_actor.name].add(edge.src_actor.name)
+        start = next(iter(self._actors))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return len(seen) == len(self._actors)
+
+    def topological_order(self, ignore_delay_edges: bool = True) -> List[Actor]:
+        """Topological order of actors.
+
+        Edges carrying at least one initial delay token are ignored by
+        default (they are the iteration-feedback edges); this makes
+        well-formed SDF graphs acyclic for ordering purposes.  Raises
+        :class:`GraphError` if a zero-delay cycle exists.
+        """
+        indegree: Dict[str, int] = {name: 0 for name in self._actors}
+        out: Dict[str, List[str]] = {name: [] for name in self._actors}
+        for edge in self._edges:
+            if ignore_delay_edges and edge.delay > 0:
+                continue
+            if edge.is_selfloop:
+                raise GraphError(
+                    f"zero-delay self-loop on actor {edge.src_actor.name!r} "
+                    f"can never fire"
+                )
+            indegree[edge.snk_actor.name] += 1
+            out[edge.src_actor.name].append(edge.snk_actor.name)
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: List[Actor] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self._actors[name])
+            for nxt in out[name]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+            ready.sort()
+        if len(order) != len(self._actors):
+            raise GraphError(
+                f"graph {self.name!r} has a zero-delay cycle (deadlock)"
+            )
+        return order
+
+    def copy_structure(self, name: Optional[str] = None) -> "DataflowGraph":
+        """Deep-copy actors/ports/edges (kernels and params shared by reference)."""
+        clone = DataflowGraph(name or f"{self.name}_copy")
+        for actor in self._actors.values():
+            new_actor = clone.actor(
+                actor.name, kernel=actor.kernel, cycles=actor.cycles,
+                params=dict(actor.params),
+            )
+            for port in actor.ports:
+                new_actor.add_port(
+                    Port(port.name, port.direction, port.rate, port.token_bytes)
+                )
+        for edge in self._edges:
+            new_edge = clone.connect(
+                (clone.get_actor(edge.src_actor.name), edge.source.name),
+                (clone.get_actor(edge.snk_actor.name), edge.sink.name),
+                delay=edge.delay,
+                name=edge.name,
+            )
+            if edge.initial_tokens is not None:
+                new_edge.set_initial_tokens(edge.initial_tokens)
+        for actor in self._actors.values():
+            for port in actor.ports:
+                if id(port) in self._interface_ports:
+                    clone.mark_interface(clone.get_actor(actor.name).port(port.name))
+        return clone
+
+    # -- export -------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz dot rendering (rates and delays annotated)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for actor in self._actors.values():
+            shape = "box" if not actor.is_dynamic else "octagon"
+            lines.append(f'  "{actor.name}" [shape={shape}];')
+        for edge in self._edges:
+            label = f"{edge.source.rate!r}->{edge.sink.rate!r}"
+            if edge.delay:
+                label += f" d={edge.delay}"
+            lines.append(
+                f'  "{edge.src_actor.name}" -> "{edge.snk_actor.name}" '
+                f'[label="{label}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Actor]:
+        return iter(self._actors.values())
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataflowGraph({self.name!r}, actors={len(self._actors)}, "
+            f"edges={len(self._edges)})"
+        )

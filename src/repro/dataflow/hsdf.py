@@ -1,0 +1,111 @@
+"""Homogeneous SDF (HSDF) expansion.
+
+Multiprocessor analysis (IPC graphs, synchronization graphs, maximum
+cycle mean) operates on *tasks* with unit production/consumption — the
+homogeneous special case of SDF.  A multirate SDF graph is expanded into
+an equivalent HSDF graph by instantiating one vertex per actor
+*invocation* (repetitions-vector many per actor) and one precedence edge
+per inter-invocation token dependency, annotated with the iteration
+offset (delay) of the dependency.
+
+The construction follows Sriram & Bhattacharyya: consumer invocation
+``j`` of iteration ``m`` consumes global tokens
+``(m*q_snk + j)*c .. +c-1``; token ``t`` (``t >= d`` after the ``d``
+initial tokens) was produced by global producer invocation
+``(t - d) // p``.  Because one full iteration moves exactly
+``q_src*p == q_snk*c`` tokens, the iteration offset between a fixed
+``(i, j)`` invocation pair is constant, so it can be read off at any
+sufficiently late iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dataflow.graph import Actor, DataflowGraph, GraphError
+from repro.dataflow.sdf import repetitions_vector
+
+__all__ = ["hsdf_expand", "invocation_name"]
+
+
+def invocation_name(actor_name: str, index: int) -> str:
+    """Canonical name of invocation ``index`` of ``actor_name``."""
+    return f"{actor_name}#{index}"
+
+
+def hsdf_expand(graph: DataflowGraph, name: str = "") -> DataflowGraph:
+    """Expand a consistent SDF graph into its homogeneous equivalent.
+
+    Every port of the result has rate 1.  Invocation vertices inherit the
+    kernel-free timing model of their actor (``cycles`` of the original
+    actor, evaluated at the invocation's local firing index).  Ports are
+    synthesised per edge; the result is only meant for precedence/timing
+    analysis, not functional execution.
+    """
+    reps = repetitions_vector(graph)
+    expanded = DataflowGraph(name or f"{graph.name}_hsdf")
+
+    for actor in graph.actors:
+        for index in range(reps[actor.name]):
+            def cycles_model(firing, inputs, _actor=actor, _index=index):
+                return _actor.execution_cycles(_index, inputs)
+
+            expanded.actor(
+                invocation_name(actor.name, index),
+                cycles=cycles_model,
+                params={"origin": actor.name, "invocation": index},
+            )
+
+    port_counter: Dict[str, int] = {}
+
+    def fresh_port(owner_name: str, direction: str):
+        owner = expanded.get_actor(owner_name)
+        count = port_counter.get(owner_name, 0)
+        port_counter[owner_name] = count + 1
+        if direction == "out":
+            return owner.add_output(f"o{count}")
+        return owner.add_input(f"i{count}")
+
+    for edge in graph.edges:
+        p = edge.source.rate
+        c = edge.sink.rate
+        d = edge.delay
+        q_src = reps[edge.src_actor.name]
+        q_snk = reps[edge.snk_actor.name]
+        if not isinstance(p, int) or not isinstance(c, int):
+            raise GraphError(
+                f"edge {edge.name} is dynamic; VTS-convert before HSDF "
+                f"expansion"
+            )
+        # Late enough that every consumed token has a producer.
+        m = d // (q_snk * c) + 1
+        deps: Dict[Tuple[int, int], int] = {}
+        for j in range(q_snk):
+            for offset in range(c):
+                t = (m * q_snk + j) * c + offset
+                producer_global = (t - d) // p
+                n, i = divmod(producer_global, q_src)
+                delta = m - n
+                if delta < 0:
+                    raise GraphError(
+                        f"internal error: negative iteration offset on "
+                        f"edge {edge.name}"
+                    )
+                key = (i, j)
+                if key not in deps or delta < deps[key]:
+                    deps[key] = delta
+        for (i, j), delta in sorted(deps.items()):
+            src_inv = invocation_name(edge.src_actor.name, i)
+            snk_inv = invocation_name(edge.snk_actor.name, j)
+            if src_inv == snk_inv and delta == 0:
+                raise GraphError(
+                    f"edge {edge.name} induces a zero-delay self "
+                    f"dependency on {src_inv} — graph deadlocks"
+                )
+            expanded.connect(
+                fresh_port(src_inv, "out"),
+                fresh_port(snk_inv, "in"),
+                delay=delta,
+                name=f"{edge.name}[{i}->{j}]",
+            )
+    return expanded

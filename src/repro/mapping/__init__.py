@@ -1,0 +1,55 @@
+"""Multiprocessor mapping: partitioning, self-timed scheduling, IPC and
+synchronization graphs, resynchronization, and cycle-mean analysis."""
+
+from repro.mapping.ipc_graph import build_ipc_graph
+from repro.mapping.mcm import (
+    SelfTimedTrace,
+    maximum_cycle_mean,
+    simulate_selftimed,
+)
+from repro.mapping.partition import Partition, static_levels
+from repro.mapping.pipelining import (
+    PipeliningResult,
+    auto_pipeline,
+    insert_pipeline_delays,
+    stage_assignment,
+)
+from repro.mapping.resync import (
+    ResynchronizationResult,
+    remove_redundant_synchronizations,
+    resynchronize,
+)
+from repro.mapping.selftimed import SelfTimedSchedule, build_selftimed_schedule
+from repro.mapping.sync_graph import (
+    SynchronizationGraph,
+    derive_sync_graph,
+    is_redundant,
+    redundant_edges,
+)
+from repro.mapping.timed_graph import EdgeKind, TimedEdge, TimedGraph, TimedVertex
+
+__all__ = [
+    "build_ipc_graph",
+    "SelfTimedTrace",
+    "maximum_cycle_mean",
+    "simulate_selftimed",
+    "Partition",
+    "static_levels",
+    "PipeliningResult",
+    "auto_pipeline",
+    "insert_pipeline_delays",
+    "stage_assignment",
+    "ResynchronizationResult",
+    "remove_redundant_synchronizations",
+    "resynchronize",
+    "SelfTimedSchedule",
+    "build_selftimed_schedule",
+    "SynchronizationGraph",
+    "derive_sync_graph",
+    "is_redundant",
+    "redundant_edges",
+    "EdgeKind",
+    "TimedEdge",
+    "TimedGraph",
+    "TimedVertex",
+]

@@ -1,0 +1,97 @@
+"""IPC graph construction (paper §4.1).
+
+Given an application graph and its multiprocessor (self-timed) schedule,
+the IPC graph ``G_ipc`` is derived by
+
+* instantiating a vertex for each task,
+* connecting an edge from each task to the task that succeeds it on the
+  same processor (program order, zero delay),
+* adding a unit-delay edge from the *last* task on each processor back
+  to the *first* task on the same processor (the processor loops), and
+* instantiating an IPC edge ``x -> y`` for each application edge whose
+  endpoints execute on different processors (carrying the application
+  edge's delay and payload size).
+
+Every edge of ``G_ipc`` represents the eq. 3 constraint
+``start(snk, k) >= end(src, k - delay)``; IPC edges additionally carry
+data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dataflow.graph import DataflowGraph, GraphError
+from repro.mapping.selftimed import SelfTimedSchedule
+from repro.mapping.timed_graph import EdgeKind, TimedEdge, TimedGraph, TimedVertex
+
+__all__ = ["build_ipc_graph"]
+
+
+def build_ipc_graph(schedule: SelfTimedSchedule, name: str = "") -> TimedGraph:
+    """Construct ``G_ipc`` from a self-timed schedule.
+
+    The task graph of the schedule (the application graph itself, or its
+    HSDF expansion for multirate applications) provides the data edges;
+    the per-PE orders provide the sequencing edges.
+    """
+    task_graph = schedule.task_graph
+    ipc = TimedGraph(name or f"{task_graph.name}_ipc")
+
+    for task in task_graph.actors:
+        pe = schedule.pe_of_task(task.name)
+        ipc.add_vertex(
+            TimedVertex(
+                name=task.name,
+                cycles=task.execution_cycles(0),
+                pe=pe,
+                origin_actor=task.params.get("origin", task.name),
+            )
+        )
+
+    for pe, order in schedule.orders.items():
+        if not order:
+            continue
+        for earlier, later in zip(order, order[1:]):
+            ipc.add_edge(
+                TimedEdge(
+                    src=earlier,
+                    snk=later,
+                    delay=0,
+                    kind=EdgeKind.INTRA,
+                )
+            )
+        # Processor wrap-around: iteration k+1's first task waits for
+        # iteration k's last task.
+        ipc.add_edge(
+            TimedEdge(
+                src=order[-1],
+                snk=order[0],
+                delay=1,
+                kind=EdgeKind.INTRA,
+            )
+        )
+
+    for edge in task_graph.edges:
+        src_pe = schedule.pe_of_task(edge.src_actor.name)
+        snk_pe = schedule.pe_of_task(edge.snk_actor.name)
+        if src_pe == snk_pe:
+            continue
+        payload = edge.token_bytes * edge.source.max_rate
+        ipc.add_edge(
+            TimedEdge(
+                src=edge.src_actor.name,
+                snk=edge.snk_actor.name,
+                delay=edge.delay,
+                kind=EdgeKind.IPC,
+                payload_bytes=payload,
+                origin_edge=edge.name,
+            )
+        )
+
+    if ipc.has_zero_delay_cycle():
+        raise GraphError(
+            f"IPC graph {ipc.name!r} has a zero-delay cycle; the schedule "
+            f"deadlocks"
+        )
+    return ipc

@@ -1,0 +1,246 @@
+"""Actor-to-processor assignment.
+
+SPI's self-timed methodology takes the processor assignment as an input
+(the paper assigns actors by hand for both applications: the parallel
+error-generation units of application 1 and the per-PE particle-filter
+replicas of application 2).  This module provides:
+
+* :class:`Partition` — the assignment object used by everything
+  downstream (self-timed scheduling, IPC-graph construction, SPI actor
+  insertion);
+* ``manual`` / ``round_robin`` / ``list`` strategies, the last being a
+  classic HLFET (highest level first, earliest start) list scheduler so
+  that automatically-mapped graphs are also supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.dataflow.graph import Actor, DataflowGraph, Edge, GraphError
+from repro.dataflow.sdf import repetitions_vector
+
+__all__ = ["Partition", "static_levels"]
+
+
+def static_levels(graph: DataflowGraph) -> Dict[str, int]:
+    """HLFET static level: longest path (in cycles) from actor to any sink.
+
+    Computed over the zero-delay precedence structure; an actor's own
+    execution time (cycles of firing 0) is included in its level.
+    """
+    order = graph.topological_order(ignore_delay_edges=True)
+    level: Dict[str, int] = {}
+    for actor in reversed(order):
+        downstream = 0
+        for edge in graph.out_edges(actor):
+            if edge.delay > 0:
+                continue
+            downstream = max(downstream, level.get(edge.snk_actor.name, 0))
+        level[actor.name] = actor.execution_cycles(0) + downstream
+    return level
+
+
+@dataclass
+class Partition:
+    """A mapping of every actor of a graph to a processing element.
+
+    ``assignment`` maps actor name to a PE index in ``range(n_pes)``.
+    """
+
+    graph: DataflowGraph
+    n_pes: int
+    assignment: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_pes < 1:
+            raise GraphError("a partition needs at least one PE")
+        self.validate()
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def manual(
+        cls, graph: DataflowGraph, assignment: Mapping[str, int]
+    ) -> "Partition":
+        """Build from an explicit ``actor name -> PE index`` mapping."""
+        if not assignment:
+            raise GraphError("manual assignment must be non-empty")
+        n_pes = max(assignment.values()) + 1
+        return cls(graph, n_pes, dict(assignment))
+
+    @classmethod
+    def single_processor(cls, graph: DataflowGraph) -> "Partition":
+        """Everything on PE 0 (the sequential baseline)."""
+        return cls(graph, 1, {a.name: 0 for a in graph.actors})
+
+    @classmethod
+    def assign(
+        cls, graph: DataflowGraph, n_pes: int, strategy: str = "list"
+    ) -> "Partition":
+        """Automatic assignment using the named strategy."""
+        if strategy == "round_robin":
+            return cls._round_robin(graph, n_pes)
+        if strategy == "list":
+            return cls._list_schedule(graph, n_pes)
+        if strategy == "exhaustive":
+            return cls.exhaustive(graph, n_pes)
+        raise GraphError(
+            f"unknown partition strategy {strategy!r}; "
+            f"use 'round_robin', 'list' or 'exhaustive' "
+            f"(or Partition.manual)"
+        )
+
+    @classmethod
+    def exhaustive(
+        cls,
+        graph: DataflowGraph,
+        n_pes: int,
+        cost: Optional[Callable[["Partition"], float]] = None,
+        max_actors: int = 12,
+    ) -> "Partition":
+        """Optimal assignment by exhaustive search over all mappings.
+
+        Feasible only for small graphs (``n_pes ** actors`` candidates;
+        refused above ``max_actors``).  ``cost`` scores a candidate
+        (lower is better); the default is the maximum cycle mean of the
+        candidate's synchronization graph with a small per-channel
+        communication penalty — i.e. the throughput the self-timed
+        implementation can reach.  Symmetry is broken by fixing the
+        first actor on PE 0.
+        """
+        import itertools
+
+        actors = [a.name for a in graph.topological_order()]
+        if len(actors) > max_actors:
+            raise GraphError(
+                f"exhaustive search over {len(actors)} actors x {n_pes} "
+                f"PEs is too large (limit {max_actors})"
+            )
+
+        def default_cost(candidate: "Partition") -> float:
+            from repro.mapping.ipc_graph import build_ipc_graph
+            from repro.mapping.mcm import maximum_cycle_mean
+            from repro.mapping.selftimed import build_selftimed_schedule
+
+            schedule = build_selftimed_schedule(graph, candidate)
+            ipc = build_ipc_graph(schedule)
+            penalty = 2.0 * len(candidate.interprocessor_edges())
+            return maximum_cycle_mean(ipc) + penalty
+
+        score = cost or default_cost
+        best: Optional["Partition"] = None
+        best_cost = float("inf")
+        for tail in itertools.product(range(n_pes), repeat=len(actors) - 1):
+            assignment = dict(zip(actors, (0,) + tail))
+            candidate = cls(graph, n_pes, assignment)
+            value = score(candidate)
+            if value < best_cost:
+                best, best_cost = candidate, value
+        assert best is not None
+        return best
+
+    @classmethod
+    def _round_robin(cls, graph: DataflowGraph, n_pes: int) -> "Partition":
+        order = graph.topological_order(ignore_delay_edges=True)
+        assignment = {a.name: i % n_pes for i, a in enumerate(order)}
+        return cls(graph, n_pes, assignment)
+
+    @classmethod
+    def _list_schedule(cls, graph: DataflowGraph, n_pes: int) -> "Partition":
+        """HLFET: schedule ready actors highest-level-first onto the PE
+        that allows the earliest start, accounting for a unit IPC penalty
+        between different PEs (enough to make the heuristic locality-aware
+        without presupposing a platform model)."""
+        reps = repetitions_vector(graph)
+        levels = static_levels(graph)
+        order = graph.topological_order(ignore_delay_edges=True)
+        ready_time: Dict[str, int] = {}
+        pe_free = [0] * n_pes
+        assignment: Dict[str, int] = {}
+        finish: Dict[str, int] = {}
+        ipc_penalty = 1
+
+        for actor in sorted(order, key=lambda a: (-levels[a.name], a.name)):
+            # data-ready times per candidate PE
+            best_pe, best_start = 0, None
+            for pe in range(n_pes):
+                start = pe_free[pe]
+                for edge in graph.in_edges(actor):
+                    if edge.delay > 0:
+                        continue
+                    pred = edge.src_actor.name
+                    arrive = finish.get(pred, 0)
+                    if assignment.get(pred) != pe:
+                        arrive += ipc_penalty
+                    start = max(start, arrive)
+                if best_start is None or start < best_start:
+                    best_pe, best_start = pe, start
+            assignment[actor.name] = best_pe
+            duration = actor.execution_cycles(0) * reps[actor.name]
+            finish[actor.name] = best_start + duration
+            pe_free[best_pe] = finish[actor.name]
+        return cls(graph, n_pes, assignment)
+
+    # -- queries -----------------------------------------------------------
+
+    def validate(self) -> None:
+        names = {a.name for a in self.graph.actors}
+        missing = names - set(self.assignment)
+        if missing:
+            raise GraphError(
+                f"partition does not assign actors {sorted(missing)}"
+            )
+        extra = set(self.assignment) - names
+        if extra:
+            raise GraphError(
+                f"partition assigns unknown actors {sorted(extra)}"
+            )
+        bad = {
+            name: pe
+            for name, pe in self.assignment.items()
+            if not 0 <= pe < self.n_pes
+        }
+        if bad:
+            raise GraphError(
+                f"PE indices out of range [0, {self.n_pes}): {bad}"
+            )
+
+    def pe_of(self, actor: Actor) -> int:
+        return self.assignment[actor.name]
+
+    def actors_on(self, pe: int) -> List[Actor]:
+        return [a for a in self.graph.actors if self.assignment[a.name] == pe]
+
+    def interprocessor_edges(self) -> List[Edge]:
+        """Edges whose endpoints live on different PEs — these are exactly
+        the edges SPI replaces with SPI_send / SPI_receive actor pairs."""
+        return [
+            e
+            for e in self.graph.edges
+            if self.assignment[e.src_actor.name] != self.assignment[e.snk_actor.name]
+        ]
+
+    def local_edges(self) -> List[Edge]:
+        return [
+            e
+            for e in self.graph.edges
+            if self.assignment[e.src_actor.name] == self.assignment[e.snk_actor.name]
+        ]
+
+    @property
+    def used_pes(self) -> List[int]:
+        return sorted(set(self.assignment.values()))
+
+    def __repr__(self) -> str:
+        return f"Partition(n_pes={self.n_pes}, assignment={self.assignment})"

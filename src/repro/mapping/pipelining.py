@@ -1,0 +1,172 @@
+"""Pipelining (retiming by delay insertion) for mapped dataflow graphs.
+
+A straight chain mapped across PEs cannot overlap iterations: the
+synchronization cycle through all stages carries a single delay, so the
+self-timed period equals the whole chain (MCM = sum of stage times).
+Inserting delay tokens on stage-boundary edges — at the price of
+pipeline latency — breaks the long cycle into per-stage cycles and lets
+the period approach the slowest stage.  This is the classic SDF
+pipelining/retiming transformation; the paper's self-timed framework
+inherits its benefit automatically because the added delays show up in
+the IPC/synchronization graphs.
+
+Two entry points:
+
+* :func:`insert_pipeline_delays` — explicit: add ``depth`` delay tokens
+  on the named edges;
+* :func:`auto_pipeline` — heuristic: split the actors of an acyclic
+  graph into ``stages`` load-balanced groups along the topological
+  order and put one delay on every edge crossing a group boundary.
+
+Both return a transformed *copy*; the original graph is untouched.
+Initial tokens for the inserted delays default to ``None`` placeholders
+(structural warm-up), or values produced by a user ``priming`` callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dataflow.graph import DataflowGraph, Edge, GraphError
+from repro.dataflow.sdf import repetitions_vector
+
+__all__ = [
+    "PipeliningResult",
+    "insert_pipeline_delays",
+    "auto_pipeline",
+    "stage_assignment",
+]
+
+
+@dataclass
+class PipeliningResult:
+    """Outcome of a pipelining transformation."""
+
+    graph: DataflowGraph
+    #: edge name -> delay tokens added
+    added_delays: Dict[str, int] = field(default_factory=dict)
+    #: actor name -> pipeline stage index (auto mode only)
+    stages: Optional[Dict[str, int]] = None
+
+    @property
+    def latency_iterations(self) -> int:
+        """Extra end-to-end latency in graph iterations (max cut depth)."""
+        return max(self.added_delays.values(), default=0)
+
+
+def insert_pipeline_delays(
+    graph: DataflowGraph,
+    edge_names: Sequence[str],
+    depth: int = 1,
+    priming: Optional[Callable[[Edge, int], list]] = None,
+) -> PipeliningResult:
+    """Add ``depth`` iterations worth of delay tokens on the named edges.
+
+    One iteration of delay on edge ``e`` is ``cons(e) * q(snk(e))``
+    tokens — the amount one full graph iteration consumes — so the
+    consumer's alignment shifts by whole iterations and the graph stays
+    rate-consistent.  ``priming(edge, count)`` may supply concrete
+    initial token values (default: ``None`` placeholders).
+    """
+    if depth < 1:
+        raise GraphError("pipeline depth must be >= 1")
+    names = list(edge_names)
+    if not names:
+        raise GraphError("no edges to pipeline")
+    known = {e.name for e in graph.edges}
+    missing = [n for n in names if n not in known]
+    if missing:
+        raise GraphError(f"unknown edges: {missing}")
+
+    reps = repetitions_vector(graph)
+    clone = graph.copy_structure(f"{graph.name}_pipelined")
+    added: Dict[str, int] = {}
+    for orig_edge, new_edge in zip(graph.edges, clone.edges):
+        if new_edge.name not in names:
+            continue
+        tokens_per_iteration = (
+            orig_edge.sink.rate * reps[orig_edge.snk_actor.name]
+        )
+        extra = depth * tokens_per_iteration
+        existing = (
+            list(new_edge.initial_tokens)
+            if new_edge.initial_tokens is not None
+            else [None] * new_edge.delay
+        )
+        primed = (
+            priming(orig_edge, extra) if priming is not None else [None] * extra
+        )
+        if len(primed) != extra:
+            raise GraphError(
+                f"priming for {new_edge.name} returned {len(primed)} "
+                f"tokens, need {extra}"
+            )
+        new_edge.delay += extra
+        new_edge.initial_tokens = primed + existing
+        added[new_edge.name] = extra
+    return PipeliningResult(graph=clone, added_delays=added)
+
+
+def stage_assignment(graph: DataflowGraph, stages: int) -> Dict[str, int]:
+    """Split actors into ``stages`` balanced groups along topo order.
+
+    Greedy: walk the topological order accumulating per-iteration work
+    (``cycles x repetitions``); start a new stage whenever the current
+    one reaches the ideal share (always leaving enough actors for the
+    remaining stages).
+    """
+    if stages < 2:
+        raise GraphError("need at least 2 pipeline stages")
+    order = graph.topological_order(ignore_delay_edges=True)
+    if stages > len(order):
+        raise GraphError(
+            f"cannot split {len(order)} actors into {stages} stages"
+        )
+    reps = repetitions_vector(graph)
+    work = {
+        a.name: a.execution_cycles(0) * reps[a.name] for a in order
+    }
+    total = sum(work.values())
+    ideal = total / stages
+    assignment: Dict[str, int] = {}
+    stage = 0
+    accumulated = 0
+    for position, actor in enumerate(order):
+        assignment[actor.name] = stage
+        accumulated += work[actor.name]
+        actors_left = len(order) - position - 1
+        stages_left = stages - stage - 1
+        if stage < stages - 1 and (
+            accumulated >= ideal or actors_left == stages_left
+        ):
+            stage += 1
+            accumulated = 0
+    return assignment
+
+
+def auto_pipeline(
+    graph: DataflowGraph,
+    stages: int,
+    priming: Optional[Callable[[Edge, int], list]] = None,
+) -> PipeliningResult:
+    """Load-balance the graph into ``stages`` and cut every boundary edge.
+
+    Only meaningful for graphs whose zero-delay structure is acyclic
+    (``topological_order`` raises otherwise).  Every edge from a lower
+    stage to a higher one receives one iteration of delay; the result's
+    ``stages`` mapping doubles as a natural PE assignment.
+    """
+    assignment = stage_assignment(graph, stages)
+    crossing = [
+        e.name
+        for e in graph.edges
+        if assignment[e.src_actor.name] < assignment[e.snk_actor.name]
+    ]
+    if not crossing:
+        raise GraphError(
+            "stage assignment produced no crossing edges; graph too small"
+        )
+    result = insert_pipeline_delays(graph, crossing, depth=1, priming=priming)
+    result.stages = assignment
+    return result

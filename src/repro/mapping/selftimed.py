@@ -1,0 +1,127 @@
+"""Self-timed multiprocessor schedule construction.
+
+Under the self-timed scheduling model (the one SPI adopts — paper §2),
+compile time fixes (a) the actor-to-PE assignment and (b) the *order* in
+which each PE cycles through its tasks; the actual firing times are
+resolved at run time by data availability.  This module derives the
+per-PE task orders from a deterministic PASS of the application graph,
+so the orders are always admissible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dataflow.graph import Actor, DataflowGraph, GraphError
+from repro.dataflow.hsdf import hsdf_expand, invocation_name
+from repro.dataflow.sdf import build_pass, repetitions_vector
+from repro.mapping.partition import Partition
+
+__all__ = ["SelfTimedSchedule", "build_selftimed_schedule"]
+
+
+@dataclass
+class SelfTimedSchedule:
+    """A self-timed schedule: per-PE cyclic task orders.
+
+    ``orders[pe]`` is the list of task names PE ``pe`` executes, in order,
+    once per graph iteration, wrapping around self-timed (each PE starts
+    its next pass as soon as data allows).
+
+    For multirate graphs the tasks are HSDF invocations
+    (``actor#k`` names) of the expanded graph stored in ``task_graph``;
+    for homogeneous graphs the invocation index is always 0.
+    """
+
+    graph: DataflowGraph
+    partition: Partition
+    orders: Dict[int, List[str]]
+    task_graph: DataflowGraph
+    task_pe: Dict[str, int] = field(default_factory=dict)
+
+    def pe_of_task(self, task_name: str) -> int:
+        return self.task_pe[task_name]
+
+    def tasks(self) -> List[str]:
+        return [name for order in self.orders.values() for name in order]
+
+    def position(self, task_name: str) -> int:
+        """Index of the task within its PE's cyclic order."""
+        order = self.orders[self.task_pe[task_name]]
+        return order.index(task_name)
+
+    @property
+    def n_pes(self) -> int:
+        return self.partition.n_pes
+
+    def validate(self) -> None:
+        """Each task appears exactly once, on the PE its actor is mapped to."""
+        seen: Dict[str, int] = {}
+        for pe, order in self.orders.items():
+            for task in order:
+                if task in seen:
+                    raise GraphError(
+                        f"task {task!r} scheduled on both PE {seen[task]} "
+                        f"and PE {pe}"
+                    )
+                seen[task] = pe
+        expected = {a.name for a in self.task_graph.actors}
+        if set(seen) != expected:
+            missing = expected - set(seen)
+            extra = set(seen) - expected
+            raise GraphError(
+                f"schedule covers wrong task set (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+
+
+def build_selftimed_schedule(
+    graph: DataflowGraph,
+    partition: Partition,
+) -> SelfTimedSchedule:
+    """Derive a self-timed schedule from a deterministic PASS.
+
+    Multirate graphs are HSDF-expanded first; each invocation inherits the
+    PE of its actor.  The per-PE order is the order in which the PASS
+    fires the invocations, which guarantees an admissible (deadlock-free)
+    self-timed execution given sufficient buffer space.
+    """
+    reps = repetitions_vector(graph)
+    homogeneous = all(count == 1 for count in reps.values()) and all(
+        isinstance(p.rate, int) and p.rate == 1
+        for a in graph.actors
+        for p in a.ports
+    )
+    if homogeneous:
+        task_graph = graph
+        pass_firings = build_pass(graph, repetitions=reps)
+        task_sequence = [a.name for a in pass_firings]
+        task_pe = {a.name: partition.pe_of(a) for a in graph.actors}
+    else:
+        task_graph = hsdf_expand(graph)
+        pass_firings = build_pass(graph, repetitions=reps)
+        counters: Dict[str, int] = {}
+        task_sequence = []
+        for actor in pass_firings:
+            k = counters.get(actor.name, 0)
+            counters[actor.name] = k + 1
+            task_sequence.append(invocation_name(actor.name, k))
+        task_pe = {
+            t.name: partition.assignment[t.params["origin"]]
+            for t in task_graph.actors
+        }
+
+    orders: Dict[int, List[str]] = {pe: [] for pe in range(partition.n_pes)}
+    for task in task_sequence:
+        orders[task_pe[task]].append(task)
+
+    schedule = SelfTimedSchedule(
+        graph=graph,
+        partition=partition,
+        orders=orders,
+        task_graph=task_graph,
+        task_pe=task_pe,
+    )
+    schedule.validate()
+    return schedule

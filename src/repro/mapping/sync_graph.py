@@ -1,0 +1,132 @@
+"""Synchronization graphs and redundant-synchronization detection (paper §4).
+
+The synchronization graph ``G_s`` is derived from the IPC graph: it keeps
+only the *synchronization* semantics of every edge.  Initially ``G_s`` is
+identical to ``G_ipc``; resynchronization then modifies it (adds sync
+edges, removes redundant ones) without ever touching the *data*
+communication, which stays on the IPC edges of ``G_ipc``.
+
+**Redundancy criterion** (Sriram & Bhattacharyya, used by the paper): a
+synchronization edge ``e = (x, y, d)`` is redundant iff the sequencing
+requirement it encodes is implied by the rest of the graph — i.e. iff
+there is a directed path ``x -> y``, not using ``e`` itself, whose total
+delay is at most ``d``.  Operationally: some other out-edge ``e'`` of
+``x`` satisfies ``delay(e') + rho(snk(e'), y) <= d`` where ``rho`` is the
+all-pairs minimum path delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapping.timed_graph import EdgeKind, TimedEdge, TimedGraph
+
+__all__ = [
+    "SynchronizationGraph",
+    "derive_sync_graph",
+    "is_redundant",
+    "redundant_edges",
+]
+
+
+class SynchronizationGraph(TimedGraph):
+    """A :class:`TimedGraph` specialised for synchronization analysis.
+
+    Adds convenience metrics used by the resynchronization benchmarks:
+    the number of cross-PE synchronization operations per iteration, and
+    per-kind breakdowns.
+    """
+
+    def sync_cost(self) -> int:
+        """Cross-PE synchronization operations per graph iteration."""
+        return len(self.synchronization_edges())
+
+    def sync_cost_by_kind(self) -> Dict[str, int]:
+        result: Dict[str, int] = {}
+        for edge in self.synchronization_edges():
+            result[edge.kind] = result.get(edge.kind, 0) + 1
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "SynchronizationGraph":
+        clone = SynchronizationGraph(name or self.name)
+        for vertex in self.vertices:
+            clone.add_vertex(vertex)
+        for edge in self.edges:
+            clone.add_edge(
+                TimedEdge(
+                    src=edge.src,
+                    snk=edge.snk,
+                    delay=edge.delay,
+                    kind=edge.kind,
+                    payload_bytes=edge.payload_bytes,
+                    origin_edge=edge.origin_edge,
+                )
+            )
+        return clone
+
+
+def derive_sync_graph(ipc_graph: TimedGraph, name: str = "") -> SynchronizationGraph:
+    """Initial synchronization graph: a copy of ``G_ipc`` (paper §4.1)."""
+    sync = SynchronizationGraph(name or ipc_graph.name.replace("_ipc", "") + "_sync")
+    for vertex in ipc_graph.vertices:
+        sync.add_vertex(vertex)
+    for edge in ipc_graph.edges:
+        sync.add_edge(
+            TimedEdge(
+                src=edge.src,
+                snk=edge.snk,
+                delay=edge.delay,
+                kind=edge.kind,
+                payload_bytes=edge.payload_bytes,
+                origin_edge=edge.origin_edge,
+            )
+        )
+    return sync
+
+
+def is_redundant(
+    graph: TimedGraph,
+    edge: TimedEdge,
+    rho: Optional[Dict[str, Dict[str, int]]] = None,
+) -> bool:
+    """True iff ``edge``'s constraint is implied by the rest of ``graph``.
+
+    ``rho`` may be passed to reuse a precomputed all-pairs minimum-delay
+    table (it must correspond to the *current* graph).  The check goes
+    through an explicit first hop ``e' != e`` so that the trivial path
+    "the edge itself" never vouches for its own redundancy.
+    """
+    table = rho if rho is not None else graph.min_delay_paths()
+    for first_hop in graph.out_edges(edge.src):
+        if first_hop.uid == edge.uid:
+            continue
+        remainder = table[first_hop.snk].get(edge.snk)
+        if remainder is None:
+            continue
+        if first_hop.delay + remainder <= edge.delay:
+            return True
+    return False
+
+
+def redundant_edges(
+    graph: TimedGraph,
+    kinds: Tuple[str, ...] = (EdgeKind.SYNC, EdgeKind.ACK, EdgeKind.IPC),
+    cross_pe_only: bool = True,
+) -> List[TimedEdge]:
+    """All currently redundant edges of the given kinds.
+
+    Note that removing one redundant edge can make another previously
+    redundant edge essential again when they vouched for each other; use
+    :func:`repro.mapping.resync.remove_redundant_synchronizations` for a
+    sound iterative removal.
+    """
+    rho = graph.min_delay_paths()
+    result = []
+    for edge in graph.edges:
+        if edge.kind not in kinds:
+            continue
+        if cross_pe_only and graph.vertex(edge.src).pe == graph.vertex(edge.snk).pe:
+            continue
+        if is_redundant(graph, edge, rho):
+            result.append(edge)
+    return result

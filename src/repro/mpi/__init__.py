@@ -1,0 +1,5 @@
+"""MPI-like baseline message-passing layer (the comparison point for SPI)."""
+
+from repro.mpi.baseline import MpiConfig, MpiSystem, mpi_engine_cost
+
+__all__ = ["MpiConfig", "MpiSystem", "mpi_engine_cost"]

@@ -1,0 +1,54 @@
+"""Simulated hardware substrate: clocking, PEs, links, memories, FPGA
+resource model, and the discrete-event kernel."""
+
+from repro.platform.clock import DEFAULT_CLOCK, ClockDomain
+from repro.platform.fpga import (
+    RESOURCE_FIELDS,
+    VIRTEX4_LX60,
+    VIRTEX4_SX35,
+    FpgaDevice,
+    ResourceVector,
+    UtilizationReport,
+    estimate_datapath,
+    estimate_fifo,
+)
+from repro.platform.interconnect import Interconnect, Link, LinkSpec
+from repro.platform.memory import (
+    BufferMemory,
+    BufferOverflowError,
+    BufferUnderflowError,
+)
+from repro.platform.pe import ProcessingElement
+from repro.platform.simulator import (
+    PESequencer,
+    SimulationDeadlock,
+    Simulator,
+    Task,
+)
+from repro.platform.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "DEFAULT_CLOCK",
+    "ClockDomain",
+    "RESOURCE_FIELDS",
+    "VIRTEX4_LX60",
+    "VIRTEX4_SX35",
+    "FpgaDevice",
+    "ResourceVector",
+    "UtilizationReport",
+    "estimate_datapath",
+    "estimate_fifo",
+    "Interconnect",
+    "Link",
+    "LinkSpec",
+    "BufferMemory",
+    "BufferOverflowError",
+    "BufferUnderflowError",
+    "ProcessingElement",
+    "PESequencer",
+    "SimulationDeadlock",
+    "Simulator",
+    "Task",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,115 @@
+"""Interconnect model: point-to-point links between processing elements.
+
+The SPI FPGA library connects PEs (and the I/O interface) with dedicated
+streaming links (FSL-style FIFO channels in the System Generator
+designs).  A link transfer costs
+
+    setup_cycles + ceil(message_bytes / word_bytes) * cycles_per_word
+
+and a link is *occupied* for the duration of a transfer, so transfers
+sharing a link serialize — which is exactly what makes the I/O-interface
+fan-out in the paper's figure 3 a serialization point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LinkSpec", "Link", "Interconnect"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static parameters of one link."""
+
+    setup_cycles: int = 4
+    word_bytes: int = 4
+    cycles_per_word: int = 1
+
+    def __post_init__(self) -> None:
+        if self.setup_cycles < 0:
+            raise ValueError("setup_cycles must be >= 0")
+        if self.word_bytes < 1:
+            raise ValueError("word_bytes must be >= 1")
+        if self.cycles_per_word < 1:
+            raise ValueError("cycles_per_word must be >= 1")
+
+    def transfer_cycles(self, message_bytes: int) -> int:
+        """Occupancy of the link for one message of ``message_bytes``."""
+        if message_bytes < 0:
+            raise ValueError("message_bytes must be >= 0")
+        words = math.ceil(message_bytes / self.word_bytes) if message_bytes else 0
+        return self.setup_cycles + words * self.cycles_per_word
+
+
+class Link:
+    """A point-to-point channel with serialized occupancy."""
+
+    def __init__(self, src_pe: int, dst_pe: int, spec: LinkSpec) -> None:
+        self.src_pe = src_pe
+        self.dst_pe = dst_pe
+        self.spec = spec
+        self.busy_until = 0
+        self.bytes_carried = 0
+        self.messages_carried = 0
+
+    def reserve(self, now: int, message_bytes: int) -> Tuple[int, int]:
+        """Reserve the link for a message starting no earlier than ``now``.
+
+        Returns ``(start, arrival)`` where ``start`` is when the link
+        begins transmitting (after any in-flight transfer drains) and
+        ``arrival`` when the last word lands at the destination.
+        """
+        start = max(now, self.busy_until)
+        arrival = start + self.spec.transfer_cycles(message_bytes)
+        self.busy_until = arrival
+        self.bytes_carried += message_bytes
+        self.messages_carried += 1
+        return start, arrival
+
+    def reset(self) -> None:
+        self.busy_until = 0
+        self.bytes_carried = 0
+        self.messages_carried = 0
+
+
+class Interconnect:
+    """All links of a platform, created lazily per (src, dst) PE pair.
+
+    ``default_spec`` applies to any pair without an explicit override.
+    Links are unidirectional; the reverse direction is a distinct link.
+    """
+
+    def __init__(
+        self,
+        default_spec: Optional[LinkSpec] = None,
+        overrides: Optional[Dict[Tuple[int, int], LinkSpec]] = None,
+    ) -> None:
+        self.default_spec = default_spec or LinkSpec()
+        self._overrides = dict(overrides or {})
+        self._links: Dict[Tuple[int, int], Link] = {}
+
+    def link(self, src_pe: int, dst_pe: int) -> Link:
+        if src_pe == dst_pe:
+            raise ValueError("no link is needed for same-PE communication")
+        key = (src_pe, dst_pe)
+        if key not in self._links:
+            spec = self._overrides.get(key, self.default_spec)
+            self._links[key] = Link(src_pe, dst_pe, spec)
+        return self._links[key]
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def total_bytes(self) -> int:
+        return sum(link.bytes_carried for link in self._links.values())
+
+    def total_messages(self) -> int:
+        return sum(link.messages_carried for link in self._links.values())
+
+    def reset(self) -> None:
+        for link in self._links.values():
+            link.reset()

@@ -1,0 +1,52 @@
+"""Processing element model.
+
+A PE in the paper's systems is either a customized hardware unit (the
+per-PE error-generation datapaths of application 1, the particle-filter
+replicas of application 2) or an I/O interface block.  For simulation a
+PE is a sequencer that executes its self-timed task order; this module
+holds its identity and statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ProcessingElement"]
+
+
+@dataclass
+class ProcessingElement:
+    """Identity and accounting for one PE."""
+
+    index: int
+    name: str = ""
+    busy_cycles: int = 0
+    firings: int = 0
+    blocked_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("PE index must be >= 0")
+        if not self.name:
+            self.name = f"PE{self.index}"
+
+    def record_execution(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("execution cycles must be >= 0")
+        self.busy_cycles += cycles
+        self.firings += 1
+
+    def record_block(self) -> None:
+        self.blocked_events += 1
+
+    def utilization(self, horizon_cycles: int) -> float:
+        """Busy fraction over ``horizon_cycles`` (0..1)."""
+        if horizon_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / horizon_cycles)
+
+    def reset(self) -> None:
+        self.busy_cycles = 0
+        self.firings = 0
+        self.blocked_events = 0

@@ -1,0 +1,224 @@
+"""Discrete-event simulation kernel with self-timed PE sequencers.
+
+The kernel is deliberately small: a time-ordered event heap plus a
+blocking/retry discipline for sequencers.
+
+* A **task** is anything implementing the :class:`Task` protocol —
+  computation firings, SPI sends/receives, MPI baseline operations.
+* A **sequencer** executes one PE's cyclic task order: it runs tasks in
+  order, starting each as soon as its ``ready()`` guard holds (this *is*
+  the self-timed execution model of the paper: assignment and order are
+  fixed at compile time, firing instants resolve at run time from data
+  availability).
+* When a task's guard fails the sequencer parks; any state change in the
+  system (:meth:`Simulator.notify`) re-evaluates parked sequencers at
+  the current simulation time.
+
+Deadlock (all sequencers parked, no events pending) raises
+:class:`SimulationDeadlock` with a description of every blocked task —
+invaluable when a protocol is mis-wired.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.platform.pe import ProcessingElement
+
+__all__ = ["Task", "Simulator", "PESequencer", "SimulationDeadlock"]
+
+
+class SimulationDeadlock(RuntimeError):
+    """All sequencers blocked with no pending events."""
+
+
+class Task(Protocol):
+    """One schedulable unit on a PE."""
+
+    name: str
+
+    def ready(self, now: int) -> bool:
+        """May the task start at time ``now``?"""
+
+    def start(self, now: int) -> Optional[int]:
+        """Perform start-of-execution effects.
+
+        Return the duration in cycles for fixed-latency tasks, or
+        ``None`` for event-completed tasks (e.g. a blocking rendezvous
+        send): the task must then invoke the ``complete_async`` callback
+        installed on it by the sequencer when it is done.
+        """
+
+    def finish(self, now: int) -> None:
+        """Perform end-of-execution effects (produce tokens, send, ...)."""
+
+
+class Simulator:
+    """Event heap + parked-sequencer bookkeeping."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._parked: List["PESequencer"] = []
+        self._retry_scheduled = False
+
+    # -- events ---------------------------------------------------------------
+
+    def at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past ({time} < now {self.now})"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.at(self.now + delay, callback)
+
+    # -- parking / retry --------------------------------------------------------
+
+    def park(self, sequencer: "PESequencer") -> None:
+        if sequencer not in self._parked:
+            self._parked.append(sequencer)
+
+    def notify(self) -> None:
+        """State changed: re-evaluate parked sequencers at the current time."""
+        if self._retry_scheduled or not self._parked:
+            return
+        self._retry_scheduled = True
+
+        def retry() -> None:
+            self._retry_scheduled = False
+            parked, self._parked = self._parked, []
+            for sequencer in parked:
+                sequencer.advance()
+
+        self.at(self.now, retry)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Drain the event heap; returns the final simulation time.
+
+        ``max_cycles`` guards against runaway simulations (raises
+        ``RuntimeError`` when exceeded).
+        """
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            if max_cycles is not None and time > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"(next event at {time})"
+                )
+            self.now = time
+            callback()
+        blocked = [s for s in self._parked if not s.done]
+        if blocked:
+            details = "; ".join(s.describe_block() for s in blocked)
+            raise SimulationDeadlock(
+                f"simulation deadlocked at t={self.now}: {details}"
+            )
+        return self.now
+
+
+class PESequencer:
+    """Executes one PE's cyclic task order, self-timed.
+
+    ``program`` is the per-iteration task list; the sequencer runs it
+    ``iterations`` times.  Each task may be executed with overlapping of
+    *different PEs* but tasks of one PE strictly serialize (one datapath).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pe: ProcessingElement,
+        program: Sequence[Task],
+        iterations: int,
+        trace=None,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.sim = sim
+        self.pe = pe
+        self.program = list(program)
+        self.iterations = iterations
+        self.trace = trace
+        self.iteration = 0
+        self.position = 0
+        self.done = not self.program
+        self.finish_times: List[int] = []
+        self._running = False
+
+    def begin(self) -> None:
+        """Arm the sequencer (schedule its first advance at t=0)."""
+        if not self.done:
+            self.sim.at(self.sim.now, self.advance)
+
+    @property
+    def current(self) -> Optional[Task]:
+        if self.done:
+            return None
+        return self.program[self.position]
+
+    def advance(self) -> None:
+        """Try to start the current task; park on a failed guard."""
+        if self.done or self._running:
+            return
+        task = self.program[self.position]
+        now = self.sim.now
+        if not task.ready(now):
+            self.pe.record_block()
+            self.sim.park(self)
+            return
+        started_at = now
+        duration = task.start(now)
+        self._running = True
+
+        def complete() -> None:
+            self._running = False
+            self.pe.record_execution(self.sim.now - started_at)
+            if self.trace is not None:
+                self.trace.record(
+                    pe=self.pe.index,
+                    task=task.name,
+                    start=started_at,
+                    end=self.sim.now,
+                    iteration=self.iteration,
+                )
+            task.finish(self.sim.now)
+            self._step()
+            self.sim.notify()
+            if not self.done:
+                self.advance()
+
+        if duration is None:
+            # Event-completed task (e.g. a blocking rendezvous send):
+            # the task signals completion through this callback.
+            task.complete_async = lambda: self.sim.at(self.sim.now, complete)
+        else:
+            self.sim.after(duration, complete)
+
+    def _step(self) -> None:
+        self.position += 1
+        if self.position >= len(self.program):
+            self.position = 0
+            self.iteration += 1
+            self.finish_times.append(self.sim.now)
+            if self.iteration >= self.iterations:
+                self.done = True
+
+    def describe_block(self) -> str:
+        task = self.current
+        name = task.name if task is not None else "<none>"
+        return (
+            f"{self.pe.name} blocked on task {name!r} "
+            f"(iteration {self.iteration}, position {self.position})"
+        )

@@ -1,0 +1,145 @@
+"""Execution-trace recording and rendering.
+
+A :class:`TraceRecorder` captures every task execution interval during a
+simulation ``(pe, task, start, end, iteration)``; the result can be
+queried (per-task statistics, concurrency profile) and rendered as an
+ASCII Gantt chart or CSV — invaluable when diagnosing why a mapping does
+not reach its MCM bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task execution interval."""
+
+    pe: int
+    task: str
+    start: int
+    end: int
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"event for {self.task!r} ends ({self.end}) before it "
+                f"starts ({self.start})"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects and analyses task execution intervals."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self, pe: int, task: str, start: int, end: int, iteration: int
+    ) -> None:
+        self._events.append(TraceEvent(pe, task, start, end, iteration))
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- queries ---------------------------------------------------------------
+
+    def events_on(self, pe: int) -> List[TraceEvent]:
+        return [e for e in self._events if e.pe == pe]
+
+    def events_of(self, task: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.task == task]
+
+    def makespan(self) -> int:
+        return max((e.end for e in self._events), default=0)
+
+    def pe_busy_cycles(self) -> Dict[int, int]:
+        busy: Dict[int, int] = {}
+        for event in self._events:
+            busy[event.pe] = busy.get(event.pe, 0) + event.duration
+        return busy
+
+    def task_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Per-task execution count, total and mean duration."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for event in self._events:
+            entry = stats.setdefault(
+                event.task, {"count": 0, "total": 0, "mean": 0.0}
+            )
+            entry["count"] += 1
+            entry["total"] += event.duration
+        for entry in stats.values():
+            entry["mean"] = entry["total"] / entry["count"]
+        return stats
+
+    def validate_pe_exclusivity(self) -> None:
+        """Raise if two intervals overlap on one PE (a simulator bug)."""
+        for pe in {e.pe for e in self._events}:
+            intervals = sorted(
+                ((e.start, e.end, e.task) for e in self.events_on(pe))
+            )
+            for (s1, e1, t1), (s2, e2, t2) in zip(intervals, intervals[1:]):
+                if s2 < e1:
+                    raise AssertionError(
+                        f"PE{pe}: {t1!r} [{s1},{e1}) overlaps {t2!r} "
+                        f"[{s2},{e2})"
+                    )
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        lines = ["pe,task,iteration,start,end,duration"]
+        for event in sorted(self._events, key=lambda e: (e.start, e.pe)):
+            lines.append(
+                f"{event.pe},{event.task},{event.iteration},"
+                f"{event.start},{event.end},{event.duration}"
+            )
+        return "\n".join(lines)
+
+    def gantt(self, width: int = 72, upto: Optional[int] = None) -> str:
+        """ASCII Gantt chart: one row per PE, time left to right.
+
+        Each task gets a letter (cycling a-z by first appearance); idle
+        time renders as ``.``.  ``upto`` clips the horizon.
+        """
+        horizon = upto if upto is not None else self.makespan()
+        if horizon <= 0:
+            return "(empty trace)"
+        scale = horizon / width
+        letters: Dict[str, str] = {}
+
+        def letter_for(task: str) -> str:
+            if task not in letters:
+                alphabet = "abcdefghijklmnopqrstuvwxyz"
+                letters[task] = alphabet[len(letters) % len(alphabet)]
+            return letters[task]
+
+        rows = []
+        for pe in sorted({e.pe for e in self._events}):
+            cells = ["."] * width
+            for event in self.events_on(pe):
+                if event.start >= horizon:
+                    continue
+                first = int(event.start / scale)
+                last = max(first, int(min(event.end, horizon) / scale) - 1)
+                for cell in range(first, min(last + 1, width)):
+                    cells[cell] = letter_for(event.task)
+            rows.append(f"PE{pe} |" + "".join(cells) + "|")
+        legend = ", ".join(
+            f"{symbol}={task}" for task, symbol in letters.items()
+        )
+        header = f"0{' ' * (width - len(str(horizon)) + 3)}{horizon} cycles"
+        return "\n".join([header] + rows + [legend])

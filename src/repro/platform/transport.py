@@ -1,0 +1,160 @@
+"""Data transports: point-to-point links, shared bus, ordered transactions.
+
+The paper's SPI library uses dedicated point-to-point streaming links
+(the default here), but notes that "adaptations of the methodology to
+other scheduling models is feasible, and is an interesting topic for
+further investigation".  Two such adaptations are provided:
+
+* :class:`SharedBusTransport` — every transfer contends for one shared
+  bus, arbitrated first-come-first-served with a per-transfer
+  arbitration cost.  Cheap in wires, serialises all communication.
+* :class:`OrderedBusTransport` — the *ordered-transaction* model
+  (Sriram & Bhattacharyya): the bus grant sequence is fixed at compile
+  time from the schedule, so no run-time arbitration is needed at all —
+  but a transfer must wait for its slot even when the bus is idle.
+
+All transports share one interface: ``send(channel_key, src_pe, dst_pe,
+nbytes, now, deliver)`` where ``deliver`` runs when the last word lands.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.platform.interconnect import Interconnect, LinkSpec
+from repro.platform.simulator import Simulator
+
+__all__ = [
+    "PointToPointTransport",
+    "SharedBusTransport",
+    "OrderedBusTransport",
+]
+
+
+class PointToPointTransport:
+    """Dedicated unidirectional links per PE pair (the SPI default)."""
+
+    def __init__(self, sim: Simulator, interconnect: Interconnect) -> None:
+        self.sim = sim
+        self.interconnect = interconnect
+        self.messages = 0
+        self.bytes = 0
+
+    def send(
+        self,
+        channel_key: Hashable,
+        src_pe: int,
+        dst_pe: int,
+        nbytes: int,
+        now: int,
+        deliver: Callable[[], None],
+    ) -> None:
+        link = self.interconnect.link(src_pe, dst_pe)
+        _, arrival = link.reserve(now, nbytes)
+        self.messages += 1
+        self.bytes += nbytes
+        self.sim.at(arrival, deliver)
+
+
+class SharedBusTransport:
+    """One bus for everything, FCFS arbitration.
+
+    Each transfer pays ``arbitration_cycles`` on top of the link cost
+    and occupies the bus exclusively; concurrent requests queue in
+    arrival order (ties broken deterministically by request sequence).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: Optional[LinkSpec] = None,
+        arbitration_cycles: int = 2,
+    ) -> None:
+        if arbitration_cycles < 0:
+            raise ValueError("arbitration_cycles must be >= 0")
+        self.sim = sim
+        self.spec = spec or LinkSpec()
+        self.arbitration_cycles = arbitration_cycles
+        self.busy_until = 0
+        self.messages = 0
+        self.bytes = 0
+
+    def send(
+        self,
+        channel_key: Hashable,
+        src_pe: int,
+        dst_pe: int,
+        nbytes: int,
+        now: int,
+        deliver: Callable[[], None],
+    ) -> None:
+        start = max(now, self.busy_until) + self.arbitration_cycles
+        arrival = start + self.spec.transfer_cycles(nbytes)
+        self.busy_until = arrival
+        self.messages += 1
+        self.bytes += nbytes
+        self.sim.at(arrival, deliver)
+
+
+class OrderedBusTransport:
+    """Ordered-transaction bus: the grant sequence is fixed offline.
+
+    ``order`` is the cyclic sequence of channel keys in which transfers
+    are granted (one entry per message per graph iteration, derived from
+    the schedule).  A transfer request for the key at the head of the
+    sequence is granted as soon as the bus frees — with **zero**
+    arbitration cost, that is the model's selling point; a request out
+    of turn waits until every earlier slot has been used.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        order: Sequence[Hashable],
+        spec: Optional[LinkSpec] = None,
+    ) -> None:
+        if not order:
+            raise ValueError("transaction order must be non-empty")
+        self.sim = sim
+        self.order = list(order)
+        self.spec = spec or LinkSpec()
+        self.busy_until = 0
+        self.messages = 0
+        self.bytes = 0
+        self._cursor = 0
+        self._pending: Dict[Hashable, Deque[Tuple[int, Callable[[], None]]]] = {}
+
+    def send(
+        self,
+        channel_key: Hashable,
+        src_pe: int,
+        dst_pe: int,
+        nbytes: int,
+        now: int,
+        deliver: Callable[[], None],
+    ) -> None:
+        if channel_key not in self.order:
+            raise ValueError(
+                f"channel {channel_key!r} is not in the compile-time "
+                f"transaction order"
+            )
+        self._pending.setdefault(channel_key, deque()).append(
+            (nbytes, deliver)
+        )
+        self._drain(now)
+
+    def _drain(self, now: int) -> None:
+        while True:
+            key = self.order[self._cursor]
+            queue = self._pending.get(key)
+            if not queue:
+                return
+            nbytes, deliver = queue.popleft()
+            start = max(now, self.busy_until)  # no arbitration cost
+            arrival = start + self.spec.transfer_cycles(nbytes)
+            self.busy_until = arrival
+            self.messages += 1
+            self.bytes += nbytes
+            self.sim.at(arrival, deliver)
+            self._cursor = (self._cursor + 1) % len(self.order)

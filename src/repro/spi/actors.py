@@ -1,0 +1,384 @@
+"""Run-time SPI actors: the tasks the platform simulator executes.
+
+The HDL SPI library of the paper consists of **SPI_init**, **SPI_send**
+and **SPI_receive** modules in SPI_static and SPI_dynamic flavours; the
+computation actors of the application are entirely separate ("these
+special modules ensure that the communication part of a system is
+completely separated from the computation part").  This module provides
+the behavioural models of all of them as :class:`~repro.platform
+.simulator.Task` implementations, plus the :class:`LocalFifo` carrying
+same-PE edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.dataflow.graph import Actor, DataflowGraph, Edge
+from repro.dataflow.vts import PackedToken
+from repro.platform.interconnect import Interconnect
+from repro.platform.simulator import Simulator
+from repro.spi.channel import SpiChannel
+from repro.spi.message import make_ack_message, make_data_message
+
+__all__ = [
+    "LocalFifo",
+    "ComputationTask",
+    "SpiInitTask",
+    "SpiSendTask",
+    "SpiReceiveTask",
+    "SyncTokenPool",
+    "SyncedTask",
+    "payload_nbytes",
+    "INIT_CYCLES",
+]
+
+#: one-time channel setup cost charged by SPI_init per PE
+INIT_CYCLES = 8
+
+
+def payload_nbytes(tokens: List, default_token_bytes: int) -> int:
+    """Wire size of a token list (packed tokens know their own size)."""
+    total = 0
+    for token in tokens:
+        if isinstance(token, PackedToken):
+            total += token.nbytes
+        else:
+            total += default_token_bytes
+    return total
+
+
+class LocalFifo:
+    """The run-time buffer of one same-PE edge of the SPI-inserted graph."""
+
+    def __init__(self, edge: Edge) -> None:
+        self.edge = edge
+        if edge.initial_tokens is not None:
+            initial = list(edge.initial_tokens)
+        else:
+            initial = [None] * edge.delay
+        self.tokens: Deque = deque(initial)
+        self.high_water = len(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def push(self, values: List) -> None:
+        self.tokens.extend(values)
+        if len(self.tokens) > self.high_water:
+            self.high_water = len(self.tokens)
+
+    def pop(self, count: int) -> List:
+        if len(self.tokens) < count:
+            raise RuntimeError(
+                f"fifo {self.edge.name}: popping {count} of "
+                f"{len(self.tokens)} tokens"
+            )
+        return [self.tokens.popleft() for _ in range(count)]
+
+
+class ComputationTask:
+    """One firing of a dataflow computation actor on its PE.
+
+    Inputs and outputs are :class:`LocalFifo` objects: SPI insertion
+    guarantees that computation actors only ever touch same-PE edges.
+    """
+
+    def __init__(
+        self,
+        actor: Actor,
+        inputs: Dict[str, LocalFifo],
+        outputs: Dict[str, LocalFifo],
+    ) -> None:
+        self.actor = actor
+        self.name = f"fire:{actor.name}"
+        self.inputs = inputs
+        self.outputs = outputs
+        self.firing_index = 0
+        self._staged: Optional[Dict[str, List]] = None
+
+    def ready(self, now: int) -> bool:
+        return all(
+            len(self.inputs[port.name]) >= port.rate
+            for port in self.actor.input_ports
+            if port.name in self.inputs
+        )
+
+    def start(self, now: int) -> int:
+        consumed: Dict[str, List] = {}
+        for port in self.actor.input_ports:
+            if port.name in self.inputs:
+                consumed[port.name] = self.inputs[port.name].pop(port.rate)
+        self._staged = consumed
+        return self.actor.execution_cycles(self.firing_index, consumed)
+
+    def finish(self, now: int) -> None:
+        assert self._staged is not None
+        produced = self.actor.fire(self.firing_index, self._staged)
+        for port in self.actor.output_ports:
+            if port.name in self.outputs:
+                values = produced[port.name]
+                self.outputs[port.name].push(list(values))
+        self._staged = None
+        self.firing_index += 1
+
+
+class SpiInitTask:
+    """SPI_init: one-time per-PE channel initialisation.
+
+    Appears first in every PE's program; charges :data:`INIT_CYCLES`
+    on its first execution and is free afterwards (the hardware module
+    initialises pointers and link state once, then idles).
+    """
+
+    def __init__(self, pe_index: int) -> None:
+        self.name = f"spi_init:PE{pe_index}"
+        self._done = False
+
+    def ready(self, now: int) -> bool:
+        return True
+
+    def start(self, now: int) -> int:
+        if self._done:
+            return 0
+        return INIT_CYCLES
+
+    def finish(self, now: int) -> None:
+        self._done = True
+
+
+class SpiSendTask:
+    """SPI_send: forwards one message worth of tokens onto the transport.
+
+    Guard: the producer-side FIFO holds a full message *and* the
+    protocol allows sending (UBS credit).  The PE is occupied for the
+    header-assembly/injection cycles (the actor's cycle model from
+    :mod:`repro.spi.library`); the data transfer itself then proceeds
+    concurrently with the PE, serialized by the transport (dedicated
+    link, shared bus, or ordered-transaction slot).
+    """
+
+    def __init__(
+        self,
+        actor: Actor,
+        channel: SpiChannel,
+        in_fifo: LocalFifo,
+        sim: Simulator,
+        interconnect: Interconnect,
+        transport=None,
+    ) -> None:
+        self.actor = actor
+        self.name = f"{actor.name}"
+        self.channel = channel
+        self.in_fifo = in_fifo
+        self.sim = sim
+        self.interconnect = interconnect
+        self.transport = transport
+        self.rate = actor.port("in").rate
+        self.firing_index = 0
+        self._staged: Optional[List] = None
+
+    def ready(self, now: int) -> bool:
+        return len(self.in_fifo) >= self.rate and self.channel.flow.can_send()
+
+    def start(self, now: int) -> int:
+        tokens = self.in_fifo.pop(self.rate)
+        self.channel.on_send()
+        self._staged = tokens
+        return self.actor.execution_cycles(self.firing_index, {"in": tokens})
+
+    def finish(self, now: int) -> None:
+        assert self._staged is not None
+        tokens = self._staged
+        self._staged = None
+        self.firing_index += 1
+        nbytes = payload_nbytes(tokens, self.channel.token_bytes)
+        message = make_data_message(
+            edge_id=self.channel.edge.edge_id,
+            payload=tokens,
+            payload_bytes=nbytes,
+            dynamic=self.channel.dynamic,
+        )
+        channel = self.channel
+
+        def deliver() -> None:
+            channel.deliver(message)
+            self.sim.notify()
+
+        if self.transport is not None:
+            self.transport.send(
+                channel_key=self.channel.edge.name,
+                src_pe=self.channel.src_pe,
+                dst_pe=self.channel.dst_pe,
+                nbytes=message.wire_bytes,
+                now=now,
+                deliver=deliver,
+            )
+        else:
+            link = self.interconnect.link(
+                self.channel.src_pe, self.channel.dst_pe
+            )
+            _, arrival = link.reserve(now, message.wire_bytes)
+            self.sim.at(arrival, deliver)
+
+
+class SyncTokenPool:
+    """Run-time state of one *added* resynchronization edge.
+
+    Resynchronization may add new synchronization edges ``(u, v, d)``
+    whose job is to make several acknowledgment edges redundant (paper
+    §4.1: "the number of additional synchronizations that become
+    redundant exceeds the number of new synchronizations that are
+    added").  At run time the edge is a counting semaphore shipped by
+    zero-payload messages: ``u``'s completion number ``k`` deposits a
+    token (after the link latency), ``v``'s firing number ``k`` consumes
+    one, and ``d`` tokens are pre-deposited — exactly eq. 3's
+    ``start(v, k) >= end(u, k - d)``.
+    """
+
+    def __init__(self, name: str, initial: int) -> None:
+        if initial < 0:
+            raise ValueError("initial sync tokens must be >= 0")
+        self.name = name
+        self.tokens = initial
+        self.messages_sent = 0
+
+    def available(self) -> bool:
+        return self.tokens > 0
+
+    def consume(self) -> None:
+        if self.tokens <= 0:
+            raise RuntimeError(
+                f"sync pool {self.name!r}: consumed with zero tokens"
+            )
+        self.tokens -= 1
+
+    def deposit(self) -> None:
+        self.tokens += 1
+
+
+class SyncedTask:
+    """Decorator adding resynchronization guards/notifications to a task.
+
+    ``guards`` are pools this task must consume from before firing;
+    ``notify`` lists ``(pool, link supplier)`` pairs it deposits into on
+    completion (via a sync message on the interconnect).  For multirate
+    tasks, ``phase``/``period`` select which invocations of the shared
+    underlying task participate (sync edges constrain one invocation per
+    iteration).
+    """
+
+    def __init__(
+        self,
+        inner,
+        sim: Simulator,
+        guards: Optional[List["SyncTokenPool"]] = None,
+        notifications: Optional[List[tuple]] = None,
+        phase: int = 0,
+        period: int = 1,
+    ) -> None:
+        if period < 1 or not 0 <= phase < period:
+            raise ValueError("need 0 <= phase < period")
+        self.inner = inner
+        self.sim = sim
+        self.guards = list(guards or [])
+        #: list of (pool, link, wire_bytes) triples
+        self.notifications = list(notifications or [])
+        self.phase = phase
+        self.period = period
+        self._count = 0
+
+    @property
+    def name(self) -> str:
+        return f"sync:{self.inner.name}"
+
+    def _participates(self) -> bool:
+        return self._count % self.period == self.phase
+
+    def ready(self, now: int) -> bool:
+        if self._participates() and not all(
+            pool.available() for pool in self.guards
+        ):
+            return False
+        return self.inner.ready(now)
+
+    def start(self, now: int):
+        if self._participates():
+            for pool in self.guards:
+                pool.consume()
+        return self.inner.start(now)
+
+    def finish(self, now: int) -> None:
+        self.inner.finish(now)
+        if self._participates():
+            for pool, link, wire_bytes in self.notifications:
+                _, arrival = link.reserve(now, wire_bytes)
+                pool.messages_sent += 1
+                sim = self.sim
+
+                def deliver(pool=pool) -> None:
+                    pool.deposit()
+                    sim.notify()
+
+                self.sim.at(arrival, deliver)
+        self._count += 1
+
+
+class SpiReceiveTask:
+    """SPI_receive: decodes one arrived message into the consumer FIFO.
+
+    For UBS channels with acknowledgments enabled, completion also
+    launches the ack message on the reverse link ("implemented as
+    separate messages", paper §4.1); resynchronization may have disabled
+    it (``channel.flow.uses_credits`` false), in which case the message
+    never exists — that is the optimization the ablation bench measures.
+    """
+
+    def __init__(
+        self,
+        actor: Actor,
+        channel: SpiChannel,
+        out_fifo: LocalFifo,
+        sim: Simulator,
+        interconnect: Interconnect,
+    ) -> None:
+        self.actor = actor
+        self.name = f"{actor.name}"
+        self.channel = channel
+        self.out_fifo = out_fifo
+        self.sim = sim
+        self.interconnect = interconnect
+        self.firing_index = 0
+
+    def ready(self, now: int) -> bool:
+        return self.channel.receive_ready()
+
+    def start(self, now: int) -> int:
+        # The message is consumed at completion; duration models header
+        # decode plus payload copy into the consumer-side buffer.
+        return self.actor.execution_cycles(self.firing_index, {})
+
+    def finish(self, now: int) -> None:
+        message = self.channel.accept()
+        self.firing_index += 1
+        if message.is_dynamic and message.size_field != len(message.payload):
+            raise RuntimeError(
+                f"channel {self.channel.edge.name}: dynamic header size "
+                f"field {message.size_field} does not match payload "
+                f"length {len(message.payload)}"
+            )
+        self.out_fifo.push(list(message.payload))
+        if self.channel.flow.uses_credits:
+            ack = make_ack_message(self.channel.edge.edge_id)
+            link = self.interconnect.link(
+                self.channel.dst_pe, self.channel.src_pe
+            )
+            _, arrival = link.reserve(now, ack.wire_bytes)
+            channel = self.channel
+
+            def deliver_ack() -> None:
+                channel.deliver(ack)
+                self.sim.notify()
+
+            self.sim.at(arrival, deliver_ack)

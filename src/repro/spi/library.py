@@ -1,0 +1,219 @@
+"""The SPI library: communication-actor insertion and protocol selection.
+
+"For a given dataflow graph, SPI inserts a pair of special actors
+(called SPI actors) for sending and receiving associated IPC data
+whenever an edge exists between actors that are assigned to two
+different processors" (paper §2).  This module performs that insertion
+and the compile-time per-channel decisions:
+
+* which SPI component handles the edge — **SPI_static** for edges whose
+  traffic is fixed before run time, **SPI_dynamic** for VTS-converted
+  edges (variable packed-token sizes);
+* which buffer protocol the channel uses — **BBS** when the
+  synchronization structure bounds the buffer (the eq. 2 feedback
+  bound), **UBS** with an acknowledgment window otherwise.
+
+The insertion is a pure graph transformation; the run-time behaviour of
+the inserted actors lives in :mod:`repro.spi.actors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.graph import Actor, DataflowGraph, Edge, GraphError
+from repro.dataflow.vts import VtsConversion
+from repro.mapping.partition import Partition
+
+__all__ = [
+    "SpiActorNames",
+    "SpiInsertion",
+    "insert_spi_actors",
+    "SEND_PREFIX",
+    "RECV_PREFIX",
+]
+
+SEND_PREFIX = "spi_send"
+RECV_PREFIX = "spi_recv"
+
+#: cycles one SPI_send / SPI_receive firing spends on header handling
+#: (assemble or decode one or two header words in hardware)
+SEND_OVERHEAD_CYCLES = 2
+RECV_OVERHEAD_CYCLES = 2
+#: extra cycle for the size field of a dynamic header
+DYNAMIC_HEADER_EXTRA_CYCLES = 1
+
+
+@dataclass(frozen=True)
+class SpiActorNames:
+    """Names of the actor pair inserted for one interprocessor edge."""
+
+    send: str
+    recv: str
+
+
+@dataclass
+class SpiInsertion:
+    """Result of inserting SPI actors into an application graph.
+
+    Attributes
+    ----------
+    graph:
+        The transformed graph: each cross-PE edge ``x -> y`` became
+        ``x -> SPI_send -> SPI_recv -> y``; the middle edge is the IPC
+        edge the channel will carry.
+    partition:
+        Extended partition covering the SPI actors (each inherits the
+        PE of the dataflow actor it serves).
+    channels:
+        ``original edge name -> (ipc edge, SpiActorNames, dynamic?)``.
+    """
+
+    graph: DataflowGraph
+    partition: Partition
+    channels: Dict[str, Tuple[Edge, SpiActorNames, bool]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def ipc_edges(self) -> List[Edge]:
+        return [entry[0] for entry in self.channels.values()]
+
+    def spi_actor_names(self) -> List[str]:
+        names: List[str] = []
+        for _, pair, _ in self.channels.values():
+            names.extend((pair.send, pair.recv))
+        return names
+
+    def is_spi_actor(self, name: str) -> bool:
+        return name.startswith((SEND_PREFIX, RECV_PREFIX))
+
+
+def _send_cycles(payload_words: int, dynamic: bool) -> int:
+    cycles = SEND_OVERHEAD_CYCLES + payload_words
+    if dynamic:
+        cycles += DYNAMIC_HEADER_EXTRA_CYCLES
+    return cycles
+
+
+def _recv_cycles(payload_words: int, dynamic: bool) -> int:
+    cycles = RECV_OVERHEAD_CYCLES + payload_words
+    if dynamic:
+        cycles += DYNAMIC_HEADER_EXTRA_CYCLES
+    return cycles
+
+
+def insert_spi_actors(
+    graph: DataflowGraph,
+    partition: Partition,
+    conversion: Optional[VtsConversion] = None,
+    word_bytes: int = 4,
+) -> SpiInsertion:
+    """Insert an SPI_send/SPI_receive pair on every interprocessor edge.
+
+    ``graph`` must be static (VTS-converted when the application had
+    dynamic edges; pass the :class:`VtsConversion` so the inserted
+    channels know which edges use the SPI_dynamic component).
+
+    Rates of the inserted actors preserve message granularity: SPI_send
+    fires once per producer firing (consuming and forwarding
+    ``prod(e)`` tokens as one message) and SPI_receive fires once per
+    message; the original edge delay moves to the receiver side
+    (``SPI_recv -> y``), which is where initial tokens physically live
+    in a distributed-memory implementation.
+    """
+    if graph.is_dynamic:
+        raise GraphError(
+            "insert_spi_actors needs a static graph; run vts_convert first"
+        )
+    converted_names = set(conversion.edge_info) if conversion is not None else set()
+
+    new_graph = DataflowGraph(f"{graph.name}_spi")
+    for actor in graph.actors:
+        clone = new_graph.actor(
+            actor.name,
+            kernel=actor.kernel,
+            cycles=actor.cycles,
+            params=dict(actor.params),
+        )
+        for port in actor.ports:
+            new_port = clone.add_port(
+                type(port)(port.name, port.direction, port.rate, port.token_bytes)
+            )
+            if graph.is_interface_port(port):
+                new_graph.mark_interface(new_port)
+
+    assignment = dict(partition.assignment)
+    channels: Dict[str, Tuple[Edge, SpiActorNames, bool]] = {}
+
+    for index, edge in enumerate(graph.edges):
+        src_pe = partition.assignment[edge.src_actor.name]
+        dst_pe = partition.assignment[edge.snk_actor.name]
+        new_src = new_graph.get_actor(edge.src_actor.name)
+        new_snk = new_graph.get_actor(edge.snk_actor.name)
+        if src_pe == dst_pe:
+            local = new_graph.connect(
+                (new_src, edge.source.name),
+                (new_snk, edge.sink.name),
+                delay=edge.delay,
+                name=edge.name,
+            )
+            if edge.initial_tokens is not None:
+                local.set_initial_tokens(edge.initial_tokens)
+            continue
+
+        rate = edge.source.rate
+        cons = edge.sink.rate
+        tok_bytes = edge.token_bytes
+        dynamic = edge.name in converted_names
+        payload_words = max(1, (rate * tok_bytes + word_bytes - 1) // word_bytes)
+
+        send_name = f"{SEND_PREFIX}_{index}_{edge.src_actor.name}"
+        recv_name = f"{RECV_PREFIX}_{index}_{edge.snk_actor.name}"
+        send_actor = new_graph.actor(
+            send_name,
+            cycles=_send_cycles(payload_words, dynamic),
+            params={"spi_role": "send", "origin_edge": edge.name,
+                    "dynamic": dynamic},
+        )
+        recv_actor = new_graph.actor(
+            recv_name,
+            cycles=_recv_cycles(payload_words, dynamic),
+            params={"spi_role": "recv", "origin_edge": edge.name,
+                    "dynamic": dynamic},
+        )
+        send_actor.add_input("in", rate=rate, token_bytes=tok_bytes)
+        send_actor.add_output("out", rate=rate, token_bytes=tok_bytes)
+        recv_actor.add_input("in", rate=rate, token_bytes=tok_bytes)
+        recv_actor.add_output("out", rate=rate, token_bytes=tok_bytes)
+
+        new_graph.connect(
+            (new_src, edge.source.name), (send_actor, "in"),
+            name=f"{edge.name}.to_send",
+        )
+        ipc_edge = new_graph.connect(
+            (send_actor, "out"), (recv_actor, "in"),
+            name=f"{edge.name}.ipc",
+        )
+        delivered = new_graph.connect(
+            (recv_actor, "out"), (new_snk, edge.sink.name),
+            delay=edge.delay,
+            name=f"{edge.name}.to_consumer",
+        )
+        if edge.initial_tokens is not None:
+            delivered.set_initial_tokens(edge.initial_tokens)
+
+        assignment[send_name] = src_pe
+        assignment[recv_name] = dst_pe
+        channels[edge.name] = (
+            ipc_edge,
+            SpiActorNames(send=send_name, recv=recv_name),
+            dynamic,
+        )
+
+    new_graph.validate()
+    new_partition = Partition(new_graph, partition.n_pes, assignment)
+    return SpiInsertion(
+        graph=new_graph, partition=new_partition, channels=channels
+    )

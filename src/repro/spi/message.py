@@ -1,0 +1,111 @@
+"""SPI wire formats (paper §5.1).
+
+The SPI message header is deliberately minimal — this is the heart of
+the paper's "careful specialization" claim versus MPI:
+
+* **SPI_static**: the header consists of *the ID of the interprocessor
+  edge only* — one word.  Everything else (datatype, length, endpoints)
+  is known at compile time from the dataflow graph, so it never travels.
+* **SPI_dynamic**: the header additionally carries the *message size*
+  (the packed-token size of the VTS model) — the paper's recommended
+  alternative to delimiter scanning, which "can be expensive" on FPGA.
+* **acknowledgments** are separate messages (paper §4.1: "they are
+  implemented as separate messages") carrying just the edge ID.
+
+Message datatype is *not* included in any header: "in our targeted
+implementations, the message datatype for all communication edges is
+known at compile-time, and hence need not be included".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "WORD_BYTES",
+    "STATIC_HEADER_BYTES",
+    "DYNAMIC_HEADER_BYTES",
+    "ACK_BYTES",
+    "MessageKind",
+    "Message",
+    "make_data_message",
+    "make_ack_message",
+]
+
+#: the fabric word size of the HDL library (32-bit streaming links)
+WORD_BYTES = 4
+#: SPI_static header: edge ID word
+STATIC_HEADER_BYTES = WORD_BYTES
+#: SPI_dynamic header: edge ID word + size word
+DYNAMIC_HEADER_BYTES = 2 * WORD_BYTES
+#: an acknowledgment message: edge ID word
+ACK_BYTES = WORD_BYTES
+
+
+class MessageKind:
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on a link.
+
+    ``payload`` carries the real token values (the simulator is
+    functional as well as timed); ``payload_bytes`` is the wire size of
+    the data portion, and ``size_field`` the packed-token size carried in
+    a dynamic header (``None`` for static messages and acks).
+    """
+
+    kind: str
+    edge_id: int
+    payload: Tuple = ()
+    payload_bytes: int = 0
+    size_field: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (MessageKind.DATA, MessageKind.ACK):
+            raise ValueError(f"unknown message kind {self.kind!r}")
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        if self.kind == MessageKind.ACK and self.payload:
+            raise ValueError("acknowledgments carry no payload")
+
+    @property
+    def header_bytes(self) -> int:
+        if self.kind == MessageKind.ACK:
+            return ACK_BYTES
+        if self.size_field is not None:
+            return DYNAMIC_HEADER_BYTES
+        return STATIC_HEADER_BYTES
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the link: header + payload."""
+        return self.header_bytes + self.payload_bytes
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.size_field is not None
+
+
+def make_data_message(
+    edge_id: int,
+    payload: Sequence,
+    payload_bytes: int,
+    dynamic: bool,
+) -> Message:
+    """Build a data message; dynamic messages carry their size field."""
+    return Message(
+        kind=MessageKind.DATA,
+        edge_id=edge_id,
+        payload=tuple(payload),
+        payload_bytes=payload_bytes,
+        size_field=len(payload) if dynamic else None,
+    )
+
+
+def make_ack_message(edge_id: int) -> Message:
+    """Build an acknowledgment for the given interprocessor edge."""
+    return Message(kind=MessageKind.ACK, edge_id=edge_id)

@@ -1,0 +1,725 @@
+"""The SPI system: compile a dataflow application, execute it, report.
+
+:class:`SpiSystem` is the public entry point of the reproduction.  It
+performs the whole SPI methodology in one ``compile`` call:
+
+1. **VTS conversion** when the application graph has dynamic-rate edges
+   (paper §3) — dynamic edges become SPI_dynamic channels;
+2. **SPI actor insertion** on every interprocessor edge (paper §2);
+3. **self-timed schedule** construction (paper §2);
+4. **IPC / synchronization graph** derivation (paper §4.1);
+5. **protocol selection** per channel: BBS when the synchronization
+   structure bounds the buffer, else UBS with an ack window (paper §4);
+6. **resynchronization**: redundant synchronization/acknowledgment
+   edges are pruned; channels whose ack edge proved redundant run
+   ack-free (paper §4.1);
+
+and then executes the compiled system cycle-by-cycle on the platform
+simulator (``run``), or prices it on the FPGA resource model
+(``fpga_report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.graph import Actor, DataflowGraph, Edge, GraphError
+from repro.dataflow.vts import VtsConversion, vts_convert
+from repro.mapping.ipc_graph import build_ipc_graph
+from repro.mapping.mcm import maximum_cycle_mean
+from repro.mapping.partition import Partition
+from repro.mapping.resync import ResynchronizationResult, resynchronize
+from repro.mapping.selftimed import SelfTimedSchedule, build_selftimed_schedule
+from repro.mapping.sync_graph import SynchronizationGraph, derive_sync_graph
+from repro.mapping.timed_graph import EdgeKind, TimedEdge
+from repro.platform.clock import DEFAULT_CLOCK, ClockDomain
+from repro.platform.fpga import (
+    FpgaDevice,
+    ResourceVector,
+    UtilizationReport,
+    VIRTEX4_SX35,
+)
+from repro.platform.interconnect import Interconnect, LinkSpec
+from repro.platform.pe import ProcessingElement
+from repro.platform.simulator import PESequencer, Simulator
+from repro.platform.trace import TraceRecorder
+from repro.spi import resources as spi_resources
+from repro.spi.actors import (
+    ComputationTask,
+    LocalFifo,
+    SpiInitTask,
+    SpiReceiveTask,
+    SpiSendTask,
+    SyncTokenPool,
+    SyncedTask,
+)
+from repro.spi.message import ACK_BYTES
+from repro.spi.channel import SpiChannel
+from repro.spi.library import SpiInsertion, insert_spi_actors
+from repro.spi.protocols import Protocol, ProtocolConfig
+
+__all__ = ["SpiConfig", "ChannelPlan", "RunResult", "SpiSystem"]
+
+
+@dataclass(frozen=True)
+class SpiConfig:
+    """Compile-time knobs of an SPI system."""
+
+    clock: ClockDomain = DEFAULT_CLOCK
+    link_spec: LinkSpec = field(default_factory=LinkSpec)
+    #: apply resynchronization (redundant sync/ack pruning + additions)
+    resynchronize: bool = True
+    #: UBS acknowledgment window, in messages
+    ubs_window: int = 4
+    #: BBS is chosen only when the static bound is at most this many messages
+    max_bbs_messages: int = 1024
+    word_bytes: int = 4
+    #: protocol policy: "auto" picks BBS whenever the synchronization
+    #: structure bounds the buffer (paper §4); "always_ubs" forces the
+    #: UBS protocol everywhere, which is how the resynchronization
+    #: ablations expose acknowledgment traffic
+    protocol_policy: str = "auto"
+    #: data transport: "p2p" dedicated links (the SPI default),
+    #: "shared_bus" FCFS-arbitrated single bus, "ordered_bus" the
+    #: ordered-transaction model (grant order fixed at compile time).
+    #: Control traffic (acks, resynchronization messages) always rides
+    #: dedicated control links.
+    transport: str = "p2p"
+    #: per-transfer arbitration cost of the shared bus
+    bus_arbitration_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.protocol_policy not in ("auto", "always_ubs"):
+            raise ValueError(
+                f"unknown protocol_policy {self.protocol_policy!r}"
+            )
+        if self.ubs_window < 1:
+            raise ValueError("ubs_window must be >= 1")
+        if self.transport not in ("p2p", "shared_bus", "ordered_bus"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.bus_arbitration_cycles < 0:
+            raise ValueError("bus_arbitration_cycles must be >= 0")
+
+
+@dataclass
+class ChannelPlan:
+    """Compile-time decisions for one interprocessor edge."""
+
+    origin_edge_name: str
+    ipc_edge: Edge
+    send_actor: str
+    recv_actor: str
+    src_pe: int
+    dst_pe: int
+    dynamic: bool
+    protocol: str
+    capacity_messages: int
+    message_payload_bytes: int
+    acks_enabled: bool
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.capacity_messages * self.message_payload_bytes
+
+
+@dataclass
+class RunResult:
+    """Everything observable from one simulated execution."""
+
+    cycles: int
+    execution_time_us: float
+    iterations: int
+    pe_stats: List[ProcessingElement]
+    data_messages: int
+    ack_messages: int
+    payload_bytes: int
+    header_bytes: int
+    ack_bytes: int
+    buffer_high_water: Dict[str, int]
+    fifo_high_water: Dict[str, int]
+    iteration_period_cycles: float
+    #: zero-payload messages carrying *added* resynchronization edges
+    resync_messages: int = 0
+    resync_bytes: int = 0
+    #: populated when ``run(..., trace=True)``: every task execution
+    #: interval, renderable as a Gantt chart or CSV
+    trace: Optional["TraceRecorder"] = None
+
+    @property
+    def sync_messages(self) -> int:
+        """Messages whose only job is synchronization: acknowledgments
+        plus the messages of added resynchronization edges."""
+        return self.ack_messages + self.resync_messages
+
+    @property
+    def overhead_bytes(self) -> int:
+        return self.header_bytes + self.ack_bytes + self.resync_bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        return (
+            self.payload_bytes
+            + self.header_bytes
+            + self.ack_bytes
+            + self.resync_bytes
+        )
+
+    def speedup_against(self, baseline: "RunResult") -> float:
+        if self.execution_time_us == 0:
+            raise ZeroDivisionError("zero execution time")
+        return baseline.execution_time_us / self.execution_time_us
+
+
+class SpiSystem:
+    """A compiled SPI application, ready to simulate or to price."""
+
+    def __init__(
+        self,
+        source_graph: DataflowGraph,
+        partition: Partition,
+        config: SpiConfig,
+        conversion: Optional[VtsConversion],
+        insertion: SpiInsertion,
+        schedule: SelfTimedSchedule,
+        sync_graph: SynchronizationGraph,
+        channel_plans: Dict[str, ChannelPlan],
+        resync_result: Optional[ResynchronizationResult],
+    ) -> None:
+        self.source_graph = source_graph
+        self.partition = partition
+        self.config = config
+        self.conversion = conversion
+        self.insertion = insertion
+        self.schedule = schedule
+        self.sync_graph = sync_graph
+        self.channel_plans = channel_plans
+        self.resync_result = resync_result
+
+    # -- compilation -------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        graph: DataflowGraph,
+        partition: Partition,
+        config: Optional[SpiConfig] = None,
+    ) -> "SpiSystem":
+        """Run the full SPI methodology on ``graph`` + ``partition``."""
+        config = config or SpiConfig()
+        graph.validate()
+
+        conversion: Optional[VtsConversion] = None
+        static_graph = graph
+        if graph.is_dynamic:
+            conversion = vts_convert(graph)
+            static_graph = conversion.graph
+
+        static_partition = Partition(
+            static_graph, partition.n_pes, dict(partition.assignment)
+        )
+        insertion = insert_spi_actors(
+            static_graph,
+            static_partition,
+            conversion=conversion,
+            word_bytes=config.word_bytes,
+        )
+        schedule = build_selftimed_schedule(insertion.graph, insertion.partition)
+        ipc_graph = build_ipc_graph(schedule)
+        sync_graph = derive_sync_graph(ipc_graph)
+
+        channel_plans = cls._plan_channels(
+            insertion, schedule, sync_graph, config
+        )
+
+        # UBS channels synchronize backwards through ack edges; add them to
+        # the synchronization graph so resynchronization can judge them.
+        for plan in channel_plans.values():
+            if plan.protocol != Protocol.UBS:
+                continue
+            send_task, recv_task = cls._channel_tasks(schedule, plan)
+            sync_graph.add_edge(
+                TimedEdge(
+                    src=recv_task,
+                    snk=send_task,
+                    delay=plan.capacity_messages,
+                    kind=EdgeKind.ACK,
+                    origin_edge=plan.origin_edge_name,
+                )
+            )
+
+        resync_result: Optional[ResynchronizationResult] = None
+        if config.resynchronize:
+            resync_result = resynchronize(sync_graph)
+            surviving_acks = {
+                e.origin_edge
+                for e in resync_result.graph.edges
+                if e.kind == EdgeKind.ACK
+            }
+            for plan in channel_plans.values():
+                if plan.protocol == Protocol.UBS:
+                    plan.acks_enabled = plan.origin_edge_name in surviving_acks
+
+        return cls(
+            source_graph=graph,
+            partition=partition,
+            config=config,
+            conversion=conversion,
+            insertion=insertion,
+            schedule=schedule,
+            sync_graph=sync_graph,
+            channel_plans=channel_plans,
+            resync_result=resync_result,
+        )
+
+    @staticmethod
+    def _channel_tasks(
+        schedule: SelfTimedSchedule, plan: ChannelPlan
+    ) -> Tuple[str, str]:
+        """Task names of the channel's send/recv actors in the task graph.
+
+        For multirate graphs the SPI actors expand into invocations; the
+        ack-window constraint is attached between the first invocations
+        (a conservative representative).
+        """
+        tasks = set(schedule.task_pe)
+        if plan.send_actor in tasks:
+            return plan.send_actor, plan.recv_actor
+        return f"{plan.send_actor}#0", f"{plan.recv_actor}#0"
+
+    @classmethod
+    def _plan_channels(
+        cls,
+        insertion: SpiInsertion,
+        schedule: SelfTimedSchedule,
+        sync_graph: SynchronizationGraph,
+        config: SpiConfig,
+    ) -> Dict[str, ChannelPlan]:
+        """Select protocol and capacity for every interprocessor edge.
+
+        The BBS bound follows the feedback argument of paper eq. 2: the
+        number of unconsumed messages on IPC edge ``e`` in self-timed
+        execution never exceeds ``delay(e)`` plus the minimum total
+        delay of a directed synchronization path from the receiver back
+        to the sender (the path that throttles the sender).  When no
+        such path exists — or the bound is impractically large — SPI
+        falls back to UBS with an acknowledgment window.
+        """
+        rho = sync_graph.min_delay_paths()
+        plans: Dict[str, ChannelPlan] = {}
+        for origin_name, (ipc_edge, pair, dynamic) in insertion.channels.items():
+            src_pe = insertion.partition.assignment[pair.send]
+            dst_pe = insertion.partition.assignment[pair.recv]
+            send_task, recv_task = cls._channel_tasks(
+                schedule,
+                ChannelPlan(
+                    origin_edge_name=origin_name,
+                    ipc_edge=ipc_edge,
+                    send_actor=pair.send,
+                    recv_actor=pair.recv,
+                    src_pe=src_pe,
+                    dst_pe=dst_pe,
+                    dynamic=dynamic,
+                    protocol=Protocol.UBS,
+                    capacity_messages=1,
+                    message_payload_bytes=1,
+                    acks_enabled=False,
+                ),
+            )
+            feedback = rho.get(recv_task, {}).get(send_task)
+            delay_msgs = ipc_edge.delay // max(1, ipc_edge.source.rate)
+            payload_bytes = ipc_edge.source.rate * ipc_edge.token_bytes
+
+            if (
+                config.protocol_policy == "auto"
+                and feedback is not None
+                and 0 < feedback + delay_msgs + 1 <= config.max_bbs_messages
+            ):
+                # +1: the message being processed by the receiver still
+                # occupies its slot while in flight through SPI_receive.
+                protocol = Protocol.BBS
+                capacity = feedback + delay_msgs + 1
+                acks = False
+            else:
+                protocol = Protocol.UBS
+                capacity = config.ubs_window
+                acks = True
+            plans[origin_name] = ChannelPlan(
+                origin_edge_name=origin_name,
+                ipc_edge=ipc_edge,
+                send_actor=pair.send,
+                recv_actor=pair.recv,
+                src_pe=src_pe,
+                dst_pe=dst_pe,
+                dynamic=dynamic,
+                protocol=protocol,
+                capacity_messages=capacity,
+                message_payload_bytes=payload_bytes,
+                acks_enabled=acks,
+            )
+        return plans
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int = 1,
+        max_cycles: Optional[int] = None,
+        trace: bool = False,
+    ) -> RunResult:
+        """Simulate ``iterations`` graph iterations; returns the metrics.
+
+        ``trace=True`` records every task execution interval into
+        ``RunResult.trace`` (a :class:`TraceRecorder`) for Gantt/CSV
+        inspection.
+        """
+        if iterations < 1:
+            raise GraphError("iterations must be >= 1")
+        sim = Simulator()
+        recorder = TraceRecorder() if trace else None
+        interconnect = Interconnect(default_spec=self.config.link_spec)
+        transport = self._build_transport(sim, interconnect)
+        graph = self.insertion.graph
+
+        channels: Dict[str, SpiChannel] = {}
+        for plan in self.channel_plans.values():
+            config = ProtocolConfig(
+                protocol=plan.protocol,
+                capacity_tokens=plan.capacity_messages,
+                acks_enabled=plan.acks_enabled
+                if plan.protocol == Protocol.UBS
+                else False,
+            )
+            # One extra message of physical slack: a message may arrive
+            # while SPI_receive is still processing its predecessor (the
+            # predecessor's bytes are freed only at completion).
+            capacity_bytes = (
+                plan.capacity_messages + 1
+            ) * plan.message_payload_bytes
+            channels[plan.origin_edge_name] = SpiChannel(
+                edge=plan.ipc_edge,
+                src_pe=plan.src_pe,
+                dst_pe=plan.dst_pe,
+                config=config,
+                dynamic=plan.dynamic,
+                token_bytes=plan.ipc_edge.token_bytes,
+                recv_capacity_bytes=capacity_bytes,
+            )
+
+        ipc_edge_ids = {plan.ipc_edge.edge_id for plan in self.channel_plans.values()}
+        fifos: Dict[int, LocalFifo] = {
+            edge.edge_id: LocalFifo(edge)
+            for edge in graph.edges
+            if edge.edge_id not in ipc_edge_ids
+        }
+
+        send_plans = {plan.send_actor: plan for plan in self.channel_plans.values()}
+        recv_plans = {plan.recv_actor: plan for plan in self.channel_plans.values()}
+
+        tasks_by_actor: Dict[str, object] = {}
+
+        def task_for(actor: Actor):
+            if actor.name in tasks_by_actor:
+                return tasks_by_actor[actor.name]
+            if actor.name in send_plans:
+                plan = send_plans[actor.name]
+                in_edge = graph.in_edges(actor)[0]
+                task = SpiSendTask(
+                    actor,
+                    channels[plan.origin_edge_name],
+                    fifos[in_edge.edge_id],
+                    sim,
+                    interconnect,
+                    transport=transport,
+                )
+            elif actor.name in recv_plans:
+                plan = recv_plans[actor.name]
+                out_edge = graph.out_edges(actor)[0]
+                task = SpiReceiveTask(
+                    actor,
+                    channels[plan.origin_edge_name],
+                    fifos[out_edge.edge_id],
+                    sim,
+                    interconnect,
+                )
+            else:
+                inputs = {
+                    e.sink.name: fifos[e.edge_id]
+                    for e in graph.in_edges(actor)
+                    if e.edge_id in fifos
+                }
+                outputs = {
+                    e.source.name: fifos[e.edge_id]
+                    for e in graph.out_edges(actor)
+                    if e.edge_id in fifos
+                }
+                task = ComputationTask(actor, inputs, outputs)
+            tasks_by_actor[actor.name] = task
+            return task
+
+        # Instantiate every task up front, then materialise the *added*
+        # resynchronization edges as run-time sync-message channels (a
+        # counting semaphore fed by zero-payload messages) wrapped
+        # around the endpoint tasks.  Without this, disabling the acks
+        # those edges made redundant would be unsound.
+        for actor in graph.actors:
+            task_for(actor)
+        sync_pools: List[SyncTokenPool] = []
+        if self.resync_result is not None:
+            from repro.dataflow.sdf import repetitions_vector
+
+            task_reps = repetitions_vector(self.insertion.graph)
+            for added in self.resync_result.added:
+                src_task = self.schedule.task_graph.get_actor(added.src)
+                snk_task = self.schedule.task_graph.get_actor(added.snk)
+                src_origin = src_task.params.get("origin", added.src)
+                snk_origin = snk_task.params.get("origin", added.snk)
+                src_pe = self.schedule.task_pe[added.src]
+                snk_pe = self.schedule.task_pe[added.snk]
+                pool = SyncTokenPool(
+                    f"resync:{added.src}->{added.snk}", initial=added.delay
+                )
+                sync_pools.append(pool)
+                link = interconnect.link(src_pe, snk_pe)
+                tasks_by_actor[src_origin] = SyncedTask(
+                    tasks_by_actor[src_origin],
+                    sim,
+                    notifications=[(pool, link, ACK_BYTES)],
+                    phase=src_task.params.get("invocation", 0),
+                    period=task_reps[src_origin],
+                )
+                tasks_by_actor[snk_origin] = SyncedTask(
+                    tasks_by_actor[snk_origin],
+                    sim,
+                    guards=[pool],
+                    phase=snk_task.params.get("invocation", 0),
+                    period=task_reps[snk_origin],
+                )
+
+        pes: List[ProcessingElement] = []
+        sequencers: List[PESequencer] = []
+        for pe_index in range(self.partition.n_pes):
+            order = self.schedule.orders.get(pe_index, [])
+            if not order:
+                continue
+            pe = ProcessingElement(pe_index)
+            program: List[object] = [SpiInitTask(pe_index)]
+            for task_name in order:
+                origin = (
+                    self.schedule.task_graph.get_actor(task_name)
+                    .params.get("origin", task_name)
+                )
+                program.append(task_for(graph.get_actor(origin)))
+            sequencer = PESequencer(
+                sim, pe, program, iterations, trace=recorder
+            )
+            pes.append(pe)
+            sequencers.append(sequencer)
+
+        for sequencer in sequencers:
+            sequencer.begin()
+        final = sim.run(max_cycles=max_cycles)
+
+        unfinished = [s for s in sequencers if not s.done]
+        if unfinished:
+            raise GraphError(
+                f"simulation ended with unfinished sequencers: "
+                f"{[s.pe.name for s in unfinished]}"
+            )
+
+        data_messages = sum(c.stats.data_messages for c in channels.values())
+        ack_messages = sum(c.stats.ack_messages for c in channels.values())
+        payload_bytes = sum(c.stats.data_bytes for c in channels.values())
+        header_bytes = sum(c.stats.header_bytes for c in channels.values())
+        ack_bytes = sum(c.stats.ack_bytes for c in channels.values())
+        buffer_high = {
+            name: channel.recv_buffer.high_water_bytes
+            for name, channel in channels.items()
+        }
+        fifo_high = {
+            fifo.edge.name: fifo.high_water for fifo in fifos.values()
+        }
+
+        if iterations >= 4 and sequencers:
+            times = sequencers[0].finish_times
+            period = (times[-1] - times[1]) / (len(times) - 2)
+        else:
+            period = final / iterations
+
+        return RunResult(
+            cycles=final,
+            execution_time_us=self.config.clock.cycles_to_us(final),
+            iterations=iterations,
+            pe_stats=pes,
+            data_messages=data_messages,
+            ack_messages=ack_messages,
+            payload_bytes=payload_bytes,
+            header_bytes=header_bytes,
+            ack_bytes=ack_bytes,
+            buffer_high_water=buffer_high,
+            fifo_high_water=fifo_high,
+            iteration_period_cycles=period,
+            resync_messages=sum(p.messages_sent for p in sync_pools),
+            resync_bytes=ACK_BYTES
+            * sum(p.messages_sent for p in sync_pools),
+            trace=recorder,
+        )
+
+    def _build_transport(self, sim: Simulator, interconnect: Interconnect):
+        """Instantiate the configured data transport for one run."""
+        from repro.platform.transport import (
+            OrderedBusTransport,
+            PointToPointTransport,
+            SharedBusTransport,
+        )
+
+        if self.config.transport == "p2p":
+            return PointToPointTransport(sim, interconnect)
+        if self.config.transport == "shared_bus":
+            return SharedBusTransport(
+                sim,
+                spec=self.config.link_spec,
+                arbitration_cycles=self.config.bus_arbitration_cycles,
+            )
+        return OrderedBusTransport(
+            sim,
+            order=self.transaction_order(),
+            spec=self.config.link_spec,
+        )
+
+    def transaction_order(self) -> List[str]:
+        """Compile-time bus-grant order for the ordered-transaction model.
+
+        One entry (the channel's IPC edge name) per message per graph
+        iteration, in the order the deterministic PASS fires the
+        SPI_send actors — the same order the hardware's transaction
+        controller would be programmed with.
+        """
+        from repro.dataflow.sdf import build_pass
+
+        send_to_key = {
+            plan.send_actor: plan.ipc_edge.name
+            for plan in self.channel_plans.values()
+        }
+        order = [
+            send_to_key[actor.name]
+            for actor in build_pass(self.insertion.graph)
+            if actor.name in send_to_key
+        ]
+        if not order:
+            raise GraphError(
+                "ordered-transaction transport needs at least one "
+                "interprocessor channel"
+            )
+        return order
+
+    # -- analysis -----------------------------------------------------------
+
+    def estimated_iteration_period_cycles(self) -> float:
+        """MCM bound on the steady-state iteration period."""
+        reference = (
+            self.resync_result.graph
+            if self.resync_result is not None
+            else self.sync_graph
+        )
+        return maximum_cycle_mean(reference)
+
+    def sync_cost_per_iteration(self) -> int:
+        """Cross-PE synchronization edges after resynchronization."""
+        reference = (
+            self.resync_result.graph
+            if self.resync_result is not None
+            else self.sync_graph
+        )
+        return reference.sync_cost()
+
+    def describe(self) -> str:
+        """Human-readable compilation report.
+
+        Everything the SPI methodology decided for this system: the
+        per-PE self-timed orders, every channel's component
+        (static/dynamic), protocol, capacity and ack status, and the
+        resynchronization summary.
+        """
+        lines: List[str] = [
+            f"SPI system: {self.source_graph.name!r} on "
+            f"{self.partition.n_pes} PEs"
+        ]
+        if self.conversion is not None:
+            converted = len(self.conversion.edge_info)
+            lines.append(
+                f"VTS conversion: {converted} dynamic edge(s) converted "
+                f"to packed-token form"
+            )
+        lines.append("self-timed schedule:")
+        for pe in sorted(self.schedule.orders):
+            order = self.schedule.orders[pe]
+            if order:
+                lines.append(f"  PE{pe}: {' -> '.join(order)}")
+        if self.channel_plans:
+            lines.append("interprocessor channels:")
+            for name, plan in sorted(self.channel_plans.items()):
+                flavour = "SPI_dynamic" if plan.dynamic else "SPI_static"
+                acks = "acks on" if plan.acks_enabled else "ack-free"
+                lines.append(
+                    f"  {name}: PE{plan.src_pe}->PE{plan.dst_pe}, "
+                    f"{flavour}, {plan.protocol} "
+                    f"(capacity {plan.capacity_messages} msg, "
+                    f"{plan.message_payload_bytes} B/msg, {acks})"
+                )
+        else:
+            lines.append("interprocessor channels: none (single PE)")
+        if self.resync_result is not None:
+            rr = self.resync_result
+            lines.append(
+                f"resynchronization: {len(rr.removed)} sync/ack edge(s) "
+                f"removed, {len(rr.added)} added; sync cost "
+                f"{rr.cost_before} -> {rr.cost_after} per iteration"
+            )
+        mcm = self.estimated_iteration_period_cycles()
+        lines.append(f"MCM bound on the iteration period: {mcm:.1f} cycles")
+        return "\n".join(lines)
+
+    # -- FPGA pricing ---------------------------------------------------------
+
+    def spi_library_resources(self) -> ResourceVector:
+        """Fabric cost of every SPI module in the compiled system."""
+        total = ResourceVector()
+        for plan in self.channel_plans.values():
+            total = total + spi_resources.channel_cost(
+                dynamic=plan.dynamic,
+                buffer_bytes=plan.buffer_bytes,
+                uses_acks=plan.acks_enabled,
+            )
+        for pe in self.partition.used_pes:
+            total = total + spi_resources.init_module_cost()
+        return total
+
+    def computation_resources(self) -> ResourceVector:
+        """Fabric cost of the application's computation actors.
+
+        Actors declare their datapath cost in
+        ``params["resources"]`` (a :class:`ResourceVector`); actors
+        without one contribute nothing (e.g. purely structural models).
+        """
+        total = ResourceVector()
+        for actor in self.source_graph.actors:
+            vector = actor.params.get("resources")
+            if vector is not None:
+                total = total + vector
+        return total
+
+    def fpga_report(
+        self,
+        device: FpgaDevice = VIRTEX4_SX35,
+        title: str = "",
+    ) -> UtilizationReport:
+        """Tables 1/2 shape: full-system and SPI-relative utilisation."""
+        spi = self.spi_library_resources()
+        full = self.computation_resources() + spi
+        return UtilizationReport(
+            device=device,
+            full_system=full,
+            spi_library=spi,
+            title=title,
+        )

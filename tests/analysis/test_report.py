@@ -1,0 +1,70 @@
+"""Unit tests for the table/figure renderers."""
+
+import pytest
+
+from repro.analysis import Figure, Series, render_table
+
+
+class TestSeries:
+    def test_add_and_validate(self):
+        series = Series("n=1")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        series.validate()
+        assert series.x == [1, 2]
+
+    def test_validate_catches_mismatch(self):
+        series = Series("bad", x=[1, 2], y=[1.0])
+        with pytest.raises(ValueError, match="x values"):
+            series.validate()
+
+
+class TestFigure:
+    def make(self):
+        figure = Figure("F", "size", "time")
+        a = figure.add_series("n=1")
+        a.add(10, 1.0)
+        a.add(20, 2.0)
+        b = figure.add_series("n=2")
+        b.add(10, 0.6)
+        b.add(20, 1.1)
+        return figure
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "F" in text
+        assert "n=1" in text and "n=2" in text
+        assert "10" in text and "1.00" in text
+
+    def test_csv_wide_format(self):
+        csv = self.make().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "size,n=1,n=2"
+        assert lines[1].startswith("10,1.0000,0.6000")
+
+    def test_missing_points_rendered_as_dash(self):
+        figure = Figure("F", "x", "y")
+        a = figure.add_series("a")
+        a.add(1, 1.0)
+        b = figure.add_series("b")
+        b.add(2, 2.0)
+        text = figure.render()
+        assert "-" in text
+        csv = figure.to_csv()
+        assert ",," in csv or csv.splitlines()[1].endswith(",")
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,154 @@
+"""Unit and integration tests for the adaptive noise canceller."""
+
+import numpy as np
+import pytest
+
+from repro.apps.adaptive import (
+    LmsFilter,
+    build_multichannel_canceller,
+    fir_filter,
+    lms_block_cycles,
+    make_channel_workload,
+)
+from repro.spi import SpiSystem
+
+
+class TestFirFilter:
+    def test_impulse_response_recovers_taps(self):
+        taps = np.array([0.5, -0.25, 0.125])
+        impulse = np.zeros(6)
+        impulse[0] = 1.0
+        out = fir_filter(impulse, taps)
+        assert np.allclose(out[:3], taps)
+        assert np.allclose(out[3:], 0.0)
+
+    def test_linearity(self):
+        rng = np.random.RandomState(0)
+        x, y = rng.randn(32), rng.randn(32)
+        h = rng.randn(4)
+        assert np.allclose(
+            fir_filter(x + 3 * y, h), fir_filter(x, h) + 3 * fir_filter(y, h)
+        )
+
+
+class TestLmsFilter:
+    def test_identifies_unknown_system(self):
+        """NLMS converges to the true noise path on stationary input."""
+        rng = np.random.RandomState(1)
+        truth = np.array([0.4, -0.3, 0.2, 0.1])
+        reference = rng.randn(4000)
+        primary = fir_filter(reference, truth)
+        lms = LmsFilter(taps=4, step_size=0.5)
+        lms.process_block(reference, primary)
+        assert np.allclose(lms.weights, truth, atol=0.05)
+
+    def test_error_power_decreases(self):
+        rng = np.random.RandomState(2)
+        truth = rng.uniform(-0.5, 0.5, size=8)
+        reference = rng.randn(2000)
+        primary = fir_filter(reference, truth)
+        lms = LmsFilter(taps=8)
+        errors = lms.process_block(reference, primary)
+        early = float(np.mean(errors[:200] ** 2))
+        late = float(np.mean(errors[-200:] ** 2))
+        assert late < early / 10
+
+    def test_state_persists_across_blocks(self):
+        rng = np.random.RandomState(3)
+        truth = np.array([0.6, -0.2])
+        reference = rng.randn(1000)
+        primary = fir_filter(reference, truth)
+        one_shot = LmsFilter(taps=2)
+        expected = one_shot.process_block(reference, primary)
+        blocked = LmsFilter(taps=2)
+        pieces = [
+            blocked.process_block(reference[i : i + 100], primary[i : i + 100])
+            for i in range(0, 1000, 100)
+        ]
+        assert np.allclose(np.concatenate(pieces), expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LmsFilter(taps=0)
+        with pytest.raises(ValueError):
+            LmsFilter(taps=2, step_size=2.5)
+        with pytest.raises(ValueError):
+            LmsFilter(taps=2).process_block([1.0], [1.0, 2.0])
+
+    def test_cycle_model(self):
+        assert lms_block_cycles(64, 8) > lms_block_cycles(32, 8)
+        assert lms_block_cycles(32, 16) > lms_block_cycles(32, 8)
+        with pytest.raises(ValueError):
+            lms_block_cycles(0, 8)
+
+
+class TestWorkload:
+    def test_deterministic_per_channel(self):
+        a = make_channel_workload(256, channel_index=1)
+        b = make_channel_workload(256, channel_index=1)
+        assert np.array_equal(a.primary, b.primary)
+
+    def test_channels_differ(self):
+        a = make_channel_workload(256, channel_index=0)
+        b = make_channel_workload(256, channel_index=1)
+        assert not np.array_equal(a.primary, b.primary)
+
+    def test_primary_is_clean_plus_noise(self):
+        workload = make_channel_workload(256, channel_index=0)
+        assert not np.allclose(workload.primary, workload.clean)
+
+
+class TestMultichannelSystem:
+    def test_noise_actually_cancelled(self):
+        system = build_multichannel_canceller(
+            n_channels=2, n_pes=3, block=32, samples=1024
+        )
+        SpiSystem.compile(system.graph, system.partition).run(iterations=16)
+        for channel in range(2):
+            before, after = system.residual_noise_power(channel)
+            attenuation_db = 10 * np.log10(before / max(after, 1e-12))
+            assert attenuation_db > 6.0
+
+    def test_all_channels_static_spi(self):
+        system = build_multichannel_canceller(n_channels=2, n_pes=3)
+        spi = SpiSystem.compile(system.graph, system.partition)
+        assert spi.channel_plans
+        assert all(not plan.dynamic for plan in spi.channel_plans.values())
+
+    def test_distributed_equals_sequential(self):
+        distributed = build_multichannel_canceller(
+            n_channels=2, n_pes=3, block=32, samples=512
+        )
+        SpiSystem.compile(
+            distributed.graph, distributed.partition
+        ).run(iterations=8)
+        sequential = build_multichannel_canceller(
+            n_channels=2, n_pes=1, block=32, samples=512
+        )
+        SpiSystem.compile(
+            sequential.graph, sequential.partition
+        ).run(iterations=8)
+        for channel in range(2):
+            assert np.allclose(
+                distributed.cleaned_stream(channel),
+                sequential.cleaned_stream(channel),
+            )
+
+    def test_more_pes_faster(self):
+        times = {}
+        for n_pes in (1, 3, 5):
+            system = build_multichannel_canceller(
+                n_channels=4, n_pes=n_pes, block=32, samples=512
+            )
+            result = SpiSystem.compile(
+                system.graph, system.partition
+            ).run(iterations=6)
+            times[n_pes] = result.iteration_period_cycles
+        assert times[3] < times[1]
+        assert times[5] < times[3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_multichannel_canceller(n_channels=0, n_pes=1)
+        with pytest.raises(ValueError):
+            build_multichannel_canceller(n_channels=1, n_pes=0)

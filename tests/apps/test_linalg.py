@@ -1,0 +1,93 @@
+"""Unit and property tests for LU decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lpc.linalg import (
+    SingularMatrixError,
+    back_substitute,
+    forward_substitute,
+    lu_cycles,
+    lu_decompose,
+    lu_solve,
+    solve,
+)
+
+
+class TestLuDecompose:
+    def test_factorisation_reconstructs(self):
+        rng = np.random.RandomState(0)
+        a = rng.randn(6, 6)
+        lower, upper, perm = lu_decompose(a)
+        assert np.allclose(lower @ upper, a[perm], atol=1e-10)
+
+    def test_lower_is_unit_triangular(self):
+        a = np.random.RandomState(1).randn(5, 5)
+        lower, upper, _ = lu_decompose(a)
+        assert np.allclose(np.diag(lower), 1.0)
+        assert np.allclose(np.triu(lower, 1), 0.0)
+        assert np.allclose(np.tril(upper, -1), 0.0)
+
+    def test_partial_pivoting_handles_zero_leading_pivot(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = solve(a, np.array([2.0, 3.0]))
+        assert np.allclose(a @ x, [2.0, 3.0])
+
+    def test_singular_rejected(self):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(SingularMatrixError):
+            lu_decompose(a)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            lu_decompose(np.zeros((2, 3)))
+
+
+class TestSolve:
+    def test_identity(self):
+        x = solve(np.eye(4), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.allclose(x, [1, 2, 3, 4])
+
+    def test_matches_numpy(self):
+        rng = np.random.RandomState(3)
+        for n in (2, 5, 10):
+            a = rng.randn(n, n) + n * np.eye(n)
+            b = rng.randn(n)
+            assert np.allclose(solve(a, b), np.linalg.solve(a, b), atol=1e-8)
+
+    def test_reusable_factorisation(self):
+        rng = np.random.RandomState(4)
+        a = rng.randn(4, 4) + 4 * np.eye(4)
+        lower, upper, perm = lu_decompose(a)
+        for _ in range(3):
+            b = rng.randn(4)
+            x = lu_solve(lower, upper, perm, b)
+            assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_triangular_substitutions(self):
+        lower = np.array([[1.0, 0.0], [0.5, 1.0]])
+        y = forward_substitute(lower, np.array([2.0, 3.0]))
+        assert np.allclose(lower @ y, [2.0, 3.0])
+        upper = np.array([[2.0, 1.0], [0.0, 4.0]])
+        x = back_substitute(upper, np.array([4.0, 8.0]))
+        assert np.allclose(upper @ x, [4.0, 8.0])
+
+    @given(n=st.integers(2, 8), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_residual_small_on_well_conditioned(self, n, seed):
+        rng = np.random.RandomState(seed)
+        a = rng.randn(n, n) + n * np.eye(n)  # diagonally dominated
+        b = rng.randn(n)
+        x = solve(a, b)
+        assert np.linalg.norm(a @ x - b) < 1e-6 * max(1, np.linalg.norm(b))
+
+
+class TestCycleModel:
+    def test_cubic_growth(self):
+        assert lu_cycles(16) > 4 * lu_cycles(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lu_cycles(0)

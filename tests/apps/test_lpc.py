@@ -1,0 +1,137 @@
+"""Unit tests for LPC analysis, residuals and quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lpc.lpc import (
+    Quantizer,
+    autocorr_cycles,
+    autocorrelation,
+    error_cycles,
+    lpc_coefficients,
+    normal_equations,
+    predict,
+    prediction_error,
+    reconstruct,
+)
+from repro.apps.lpc.signal_gen import SpeechLikeSource, ar_filter, frame_stream
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_energy(self):
+        x = np.array([1.0, -2.0, 3.0])
+        r = autocorrelation(x, 1)
+        assert r[0] == pytest.approx(14.0)
+
+    def test_known_lags(self):
+        x = np.array([1.0, 1.0, 1.0, 1.0])
+        r = autocorrelation(x, 2)
+        assert list(r) == [4.0, 3.0, 2.0]
+
+    def test_lags_must_fit(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros(4), 4)
+
+    def test_normal_equations_toeplitz(self):
+        r = np.array([4.0, 2.0, 1.0])
+        matrix, rhs = normal_equations(r)
+        assert matrix.tolist() == [[4.0, 2.0], [2.0, 4.0]]
+        assert rhs.tolist() == [2.0, 1.0]
+
+
+class TestLpcAnalysis:
+    def test_recovers_ar_process(self):
+        """LPC of a noiseless AR(2) process recovers the AR coefficients."""
+        true_coefs = np.array([1.2, -0.6])
+        rng = np.random.RandomState(5)
+        excitation = rng.randn(4096) * 0.01
+        signal = ar_filter(excitation, true_coefs)
+        estimated = lpc_coefficients(signal, order=2)
+        assert np.allclose(estimated, true_coefs, atol=0.05)
+
+    def test_prediction_gain_on_speech_like_signal(self):
+        """The residual must be much smaller than the signal (that is
+        the entire point of LPC compression)."""
+        frame = SpeechLikeSource(seed=3).samples(512)
+        errors = prediction_error(frame, lpc_coefficients(frame, 10))
+        gain = np.var(frame) / max(np.var(errors), 1e-12)
+        assert gain > 10.0
+
+    def test_silent_frame_degenerates_to_zero_predictor(self):
+        coefs = lpc_coefficients(np.zeros(64), order=4)
+        assert np.allclose(coefs, 0.0)
+
+    def test_error_reconstruct_roundtrip(self):
+        frame = SpeechLikeSource(seed=4).samples(256)
+        coefs = lpc_coefficients(frame, 8)
+        errors = prediction_error(frame, coefs)
+        rebuilt = reconstruct(errors, coefs)
+        assert np.allclose(rebuilt, frame, atol=1e-9)
+
+    def test_predict_uses_available_history_at_start(self):
+        coefs = np.array([0.5])
+        frame = np.array([2.0, 4.0, 8.0])
+        predicted = predict(frame, coefs)
+        assert predicted[0] == 0.0
+        assert predicted[1] == 1.0
+        assert predicted[2] == 2.0
+
+
+class TestQuantizer:
+    def test_roundtrip_error_within_half_step(self):
+        quantizer = Quantizer(bits=8, full_scale=1.0)
+        values = np.linspace(-1, 1, 101)
+        rebuilt = quantizer.dequantize(quantizer.quantize(values))
+        assert np.max(np.abs(rebuilt - values)) <= quantizer.step / 2 + 1e-12
+
+    def test_clipping(self):
+        quantizer = Quantizer(bits=4, full_scale=1.0)
+        codes = quantizer.quantize(np.array([10.0, -10.0]))
+        assert codes[0] == quantizer.levels - 1
+        assert codes[1] == 0
+
+    def test_codes_in_range(self):
+        quantizer = Quantizer(bits=6)
+        codes = quantizer.quantize(np.random.RandomState(0).randn(100))
+        assert codes.min() >= 0
+        assert codes.max() < quantizer.levels
+
+    def test_dequantize_range_checked(self):
+        quantizer = Quantizer(bits=4)
+        with pytest.raises(ValueError):
+            quantizer.dequantize([16])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Quantizer(bits=1)
+        with pytest.raises(ValueError):
+            Quantizer(full_scale=0)
+
+
+class TestCycleModels:
+    def test_error_cycles_scale_with_samples_and_order(self):
+        assert error_cycles(100, 8) > error_cycles(50, 8)
+        assert error_cycles(100, 16) > error_cycles(100, 8)
+
+    def test_autocorr_cycles_scale(self):
+        assert autocorr_cycles(512, 8) > autocorr_cycles(256, 8)
+
+
+class TestSignalGen:
+    def test_deterministic(self):
+        a = SpeechLikeSource(seed=9).samples(128)
+        b = SpeechLikeSource(seed=9).samples(128)
+        assert np.array_equal(a, b)
+
+    def test_peak_normalised(self):
+        signal = SpeechLikeSource(seed=9, peak=0.9).samples(256)
+        assert np.max(np.abs(signal)) <= 0.9 + 1e-12
+
+    def test_frame_stream_shapes(self):
+        frames = frame_stream(total_samples=1000, frame_size=256)
+        assert len(frames) == 3
+        assert all(f.shape == (256,) for f in frames)
+
+    def test_frame_stream_too_short(self):
+        with pytest.raises(ValueError):
+            frame_stream(total_samples=10, frame_size=256)

@@ -1,0 +1,114 @@
+"""Unit tests for the two application graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lpc import build_adc_graph, build_parallel_error_graph
+from repro.apps.particle_filter import (
+    CrackGrowthModel,
+    build_particle_filter_graph,
+    resample_offset,
+)
+from repro.dataflow import repetitions_vector, vts_convert
+
+
+class TestAdcGraph:
+    def test_five_actor_chain(self, speech_frames):
+        adc = build_adc_graph(speech_frames, order=8)
+        assert {a.name for a in adc.graph} == {"A", "B", "C", "D", "E"}
+        assert len(adc.graph.edges) == 4
+        reps = repetitions_vector(adc.graph)
+        assert all(count == 1 for count in reps.values())
+
+    def test_actors_have_resource_estimates(self, speech_frames):
+        adc = build_adc_graph(speech_frames, order=8)
+        for actor in adc.graph:
+            assert "resources" in actor.params
+
+    def test_kernels_compose_functionally(self, speech_frames):
+        adc = build_adc_graph(speech_frames, order=8)
+        token = adc.graph.get_actor("A").fire(0, {})["frame"]
+        token = adc.graph.get_actor("B").fire(0, {"frame": token})["analyzed"]
+        token = adc.graph.get_actor("C").fire(0, {"analyzed": token})["model"]
+        assert token[0]["coefficients"].shape == (8,)
+        token = adc.graph.get_actor("D").fire(0, {"model": token})["errors"]
+        adc.graph.get_actor("E").fire(0, {"errors": token})
+        assert len(adc.encoder.compressed) == 1
+
+
+class TestParallelErrorGraph:
+    def test_structure_per_unit(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=3)
+        assert len(system.graph) == 9  # 3 x (io_src, D, io_snk)
+        assert system.partition.n_pes == 4  # I/O PE + 3 error PEs
+
+    def test_all_cross_edges_dynamic(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        for edge in system.partition.interprocessor_edges():
+            assert edge.is_dynamic
+
+    def test_vts_conversion_applies(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        conversion = vts_convert(system.graph)
+        reps = repetitions_vector(conversion.graph)
+        assert all(count == 1 for count in reps.values())
+
+    def test_assembled_errors_requires_all_units(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        with pytest.raises(ValueError, match="sections"):
+            system.assembled_errors(0, 256)
+
+    def test_unit_count_validated(self, speech_frames):
+        with pytest.raises(ValueError):
+            build_parallel_error_graph(speech_frames, order=8, n_units=0)
+
+
+class TestParticleFilterGraph:
+    def test_structure_per_pe(self, crack_setup):
+        model, _, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=40, n_pes=2
+        )
+        names = {a.name for a in system.graph}
+        for pe in (0, 1):
+            for stage in ("E", "U", "S1", "S2", "S3"):
+                assert f"{stage}_{pe}" in names
+
+    def test_cross_pe_channel_kinds(self, crack_setup):
+        """Weight sums are static edges, particle exchanges dynamic —
+        exactly the paper's SPI_static/SPI_dynamic split."""
+        model, _, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=40, n_pes=2
+        )
+        crossing = system.partition.interprocessor_edges()
+        wsum_edges = [e for e in crossing if e.name.startswith("wsum")]
+        particle_edges = [
+            e for e in crossing if e.name.startswith("particles")
+        ]
+        assert len(wsum_edges) == 2
+        assert len(particle_edges) == 2
+        assert all(not e.is_dynamic for e in wsum_edges)
+        assert all(e.is_dynamic for e in particle_edges)
+
+    def test_initial_particles_on_feedback(self, crack_setup):
+        model, _, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=40, n_pes=2
+        )
+        feedback = system.graph.edge_between("S3_0", "E_0")
+        assert feedback.delay == 20
+        assert len(feedback.initial_tokens) == 20
+
+    def test_divisibility_enforced(self, crack_setup):
+        model, _, observations = crack_setup
+        with pytest.raises(ValueError, match="divide"):
+            build_particle_filter_graph(
+                model, observations, n_particles=25, n_pes=2
+            )
+
+    def test_resample_offset_deterministic_and_valid(self):
+        seen = {resample_offset(k) for k in range(100)}
+        assert all(0 <= v < 1 for v in seen)
+        assert len(seen) > 50  # spreads over [0, 1)
+        assert resample_offset(7) == resample_offset(7)

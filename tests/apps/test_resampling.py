@@ -1,0 +1,166 @@
+"""Unit and property tests for sequential and distributed resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.particle_filter.resampling import (
+    allocate_targets,
+    local_resample,
+    multinomial_resample,
+    multiplicities,
+    plan_exchanges,
+    systematic_resample,
+)
+
+
+class TestSystematicResample:
+    def test_count_and_range(self):
+        indices = systematic_resample([1, 2, 3], count=12, offset=0.5)
+        assert indices.shape == (12,)
+        assert indices.min() >= 0
+        assert indices.max() <= 2
+
+    def test_multiplicity_proportional_to_weight(self):
+        """Systematic resampling replicates within one of the exact
+        proportional share (the paper's 'multiplicities proportional to
+        their previous weights')."""
+        weights = np.array([1.0, 3.0])
+        indices = systematic_resample(weights, count=100, offset=0.25)
+        counts = multiplicities(indices, 2)
+        assert abs(counts[0] - 25) <= 1
+        assert abs(counts[1] - 75) <= 1
+
+    def test_degenerate_weights_fall_back_uniform(self):
+        indices = systematic_resample([0.0, 0.0], count=4, offset=0.0)
+        assert indices.shape == (4,)
+
+    def test_zero_count(self):
+        assert systematic_resample([1.0], 0, 0.0).shape == (0,)
+
+    def test_offset_validated(self):
+        with pytest.raises(ValueError):
+            systematic_resample([1.0], 1, 1.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_resample([-1.0, 1.0], 2, 0.0)
+
+    @given(
+        weights=st.lists(st.floats(0.01, 10), min_size=1, max_size=20),
+        count=st.integers(1, 200),
+        offset=st.floats(0, 0.999),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_proportionality_property(self, weights, count, offset):
+        """Every particle's replica count is within 1 of its exact share."""
+        indices = systematic_resample(weights, count, offset)
+        counts = multiplicities(indices, len(weights))
+        total = sum(weights)
+        for i, w in enumerate(weights):
+            share = count * w / total
+            assert share - 1 <= counts[i] <= share + 1
+
+
+class TestMultinomial:
+    def test_count(self):
+        rng = np.random.RandomState(0)
+        indices = multinomial_resample([1, 1, 1], 30, rng)
+        assert indices.shape == (30,)
+
+    def test_concentrates_on_heavy_particle(self):
+        rng = np.random.RandomState(1)
+        indices = multinomial_resample([0.001, 1000.0], 100, rng)
+        assert multiplicities(indices, 2)[1] > 95
+
+
+class TestAllocateTargets:
+    def test_proportional_split(self):
+        targets = allocate_targets([1.0, 3.0], total_count=100)
+        assert targets == [25, 75]
+
+    def test_sums_to_total(self):
+        targets = allocate_targets([1.0, 1.0, 1.0], total_count=100)
+        assert sum(targets) == 100
+
+    def test_zero_total_weight_uniform(self):
+        targets = allocate_targets([0.0, 0.0, 0.0], total_count=10)
+        assert sum(targets) == 10
+        assert max(targets) - min(targets) <= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_targets([-1.0, 2.0], 10)
+
+    @given(
+        sums=st.lists(st.floats(0, 100), min_size=1, max_size=8),
+        per_pe=st.integers(1, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_property(self, sums, per_pe):
+        n = len(sums)
+        targets = allocate_targets(sums, total_count=per_pe * n)
+        assert sum(targets) == per_pe * n
+        assert all(t >= 0 for t in targets)
+
+
+class TestPlanExchanges:
+    def test_balanced_targets_no_flows(self):
+        plan = plan_exchanges([10, 10], capacity=10)
+        assert plan.kept == (10, 10)
+        assert all(all(f == 0 for f in row) for row in plan.flows)
+
+    def test_surplus_routes_to_deficit(self):
+        plan = plan_exchanges([15, 5], capacity=10)
+        assert plan.kept == (10, 5)
+        assert plan.flows[0][1] == 5
+        assert plan.sent_by(0) == 5
+        assert plan.received_by(1) == 5
+
+    def test_multiway(self):
+        plan = plan_exchanges([18, 2, 10], capacity=10)
+        assert plan.kept == (10, 2, 10)
+        assert plan.flows[0][1] == 8
+        assert plan.sent_by(2) == 0
+
+    def test_imbalance_rejected(self):
+        with pytest.raises(ValueError):
+            plan_exchanges([5, 5], capacity=10)
+
+    @given(
+        data=st.data(),
+        n=st.integers(1, 6),
+        capacity=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_pe_ends_at_capacity(self, data, n, capacity):
+        """Conservation: kept + received == capacity at every PE."""
+        total = capacity * n
+        # random composition of `total` over n PEs
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(0, total), min_size=n - 1, max_size=n - 1)
+            )
+        )
+        targets = []
+        previous = 0
+        for cut in cuts + [total]:
+            targets.append(cut - previous)
+            previous = cut
+        plan = plan_exchanges(targets, capacity)
+        for pe in range(n):
+            assert plan.kept[pe] + plan.received_by(pe) == capacity
+            assert plan.kept[pe] + plan.sent_by(pe) == targets[pe]
+
+
+class TestLocalResample:
+    def test_replicates_heavy_particles(self):
+        particles = np.array([1.0, 2.0])
+        weights = np.array([0.0, 1.0])
+        replicas = local_resample(particles, weights, target=5, offset=0.5)
+        assert np.all(replicas == 2.0)
+
+    def test_target_zero(self):
+        replicas = local_resample(np.array([1.0]), np.array([1.0]), 0, 0.0)
+        assert replicas.shape == (0,)

@@ -1,0 +1,99 @@
+"""Shared fixtures: canonical graphs and application inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataflow import DataflowGraph, DynamicRate
+from repro.mapping import Partition
+
+
+@pytest.fixture
+def chain_graph():
+    """Homogeneous 3-actor chain A -> B -> C (all rates 1)."""
+    graph = DataflowGraph("chain")
+    a = graph.actor("A", cycles=10)
+    b = graph.actor("B", cycles=20)
+    c = graph.actor("C", cycles=5)
+    a.add_output("o")
+    b.add_input("i")
+    b.add_output("o")
+    c.add_input("i")
+    graph.connect((a, "o"), (b, "i"))
+    graph.connect((b, "o"), (c, "i"))
+    graph.validate()
+    return graph
+
+
+@pytest.fixture
+def multirate_graph():
+    """Multirate chain: A(2) -> (3)B(1) -> (2)C, reps q = (3, 2, 1)."""
+    graph = DataflowGraph("multirate")
+    a = graph.actor("A", cycles=5)
+    b = graph.actor("B", cycles=3)
+    c = graph.actor("C", cycles=2)
+    a.add_output("o", rate=2)
+    b.add_input("i", rate=3)
+    b.add_output("o", rate=1)
+    c.add_input("i", rate=2)
+    graph.connect((a, "o"), (b, "i"))
+    graph.connect((b, "o"), (c, "i"))
+    graph.validate()
+    return graph
+
+
+@pytest.fixture
+def cyclic_graph():
+    """Two-actor loop with one unit of delay (a well-formed feedback)."""
+    graph = DataflowGraph("loop")
+    a = graph.actor("A", cycles=4)
+    b = graph.actor("B", cycles=6)
+    a.add_input("i")
+    a.add_output("o")
+    b.add_input("i")
+    b.add_output("o")
+    graph.connect((a, "o"), (b, "i"))
+    graph.connect((b, "o"), (a, "i"), delay=1)
+    graph.validate()
+    return graph
+
+
+@pytest.fixture
+def fig1_graph():
+    """The paper's figure 1: A -> B with dynamic rates <=10 and <=8."""
+    graph = DataflowGraph("fig1")
+    a = graph.actor("A", cycles=1)
+    b = graph.actor("B", cycles=1)
+    a.add_output("o", rate=DynamicRate(10), token_bytes=2)
+    b.add_input("i", rate=DynamicRate(8), token_bytes=2)
+    graph.connect((a, "o"), (b, "i"))
+    graph.validate()
+    return graph
+
+
+@pytest.fixture
+def two_pe_partition(chain_graph):
+    """A and C on PE0, B on PE1 — two interprocessor edges."""
+    return Partition.manual(chain_graph, {"A": 0, "B": 1, "C": 0})
+
+
+@pytest.fixture
+def speech_frames():
+    """Four 256-sample synthetic speech frames (session-stable seed)."""
+    from repro.apps.lpc import frame_stream
+
+    return frame_stream(total_samples=4 * 256, frame_size=256, seed=2008)
+
+
+@pytest.fixture
+def crack_setup():
+    """Crack model plus a short simulated history (truth, observations)."""
+    from repro.apps.particle_filter import (
+        CrackGrowthModel,
+        simulate_crack_history,
+    )
+
+    model = CrackGrowthModel()
+    truth, observations = simulate_crack_history(model, steps=10, seed=7)
+    return model, truth, observations

@@ -1,0 +1,74 @@
+"""Unit and property tests for SDF buffer bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import (
+    DataflowGraph,
+    sdf_buffer_bounds,
+    simulate_edge_occupancy,
+)
+
+
+def _chain(p, c, delay=0):
+    graph = DataflowGraph("pc")
+    a = graph.actor("A")
+    b = graph.actor("B")
+    a.add_output("o", rate=p)
+    b.add_input("i", rate=c)
+    graph.connect((a, "o"), (b, "i"), delay=delay)
+    return graph
+
+
+class TestBufferBounds:
+    def test_simulated_bound_on_chain(self, multirate_graph):
+        bounds = sdf_buffer_bounds(multirate_graph, method="simulate")
+        edges = {e.name: e.edge_id for e in multirate_graph.edges}
+        # PASS fires A A B A B C: edge A->B peaks at 4, edge B->C at 2
+        assert bounds[edges["A.o->B.i"]] == 4
+        assert bounds[edges["B.o->C.i"]] == 2
+
+    def test_conservative_dominates_simulated(self, multirate_graph):
+        tight = sdf_buffer_bounds(multirate_graph, method="simulate")
+        loose = sdf_buffer_bounds(multirate_graph, method="conservative")
+        for edge in multirate_graph.edges:
+            assert loose[edge.edge_id] >= tight[edge.edge_id]
+
+    def test_delay_counts_toward_bound(self):
+        graph = _chain(1, 1, delay=3)
+        bounds = sdf_buffer_bounds(graph, method="simulate")
+        assert bounds[graph.edges[0].edge_id] == 4  # 3 initial + 1 produced
+
+    def test_unknown_method_rejected(self, chain_graph):
+        with pytest.raises(ValueError, match="unknown"):
+            sdf_buffer_bounds(chain_graph, method="magic")
+
+    def test_multiple_iterations_stable(self, multirate_graph):
+        one = simulate_edge_occupancy(multirate_graph, iterations=1)
+        three = simulate_edge_occupancy(multirate_graph, iterations=3)
+        assert one == three  # periodic steady state
+
+    def test_zero_iterations_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            simulate_edge_occupancy(chain_graph, iterations=0)
+
+    @given(p=st.integers(1, 8), c=st.integers(1, 8), d=st.integers(0, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_simulated_bound_within_conservative(self, p, c, d):
+        graph = _chain(p, c, delay=d)
+        tight = sdf_buffer_bounds(graph, method="simulate")
+        loose = sdf_buffer_bounds(graph, method="conservative")
+        edge_id = graph.edges[0].edge_id
+        assert 0 < tight[edge_id] <= loose[edge_id]
+
+    @given(p=st.integers(1, 8), c=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_bound_at_least_max_rate(self, p, c):
+        """An edge must at least hold one producer burst or one consumer
+        demand's worth of tokens."""
+        graph = _chain(p, c)
+        bound = sdf_buffer_bounds(graph, method="simulate")[
+            graph.edges[0].edge_id
+        ]
+        assert bound >= max(p, c) or bound >= c

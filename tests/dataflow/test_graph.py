@@ -1,0 +1,246 @@
+"""Unit tests for the dataflow graph structures."""
+
+import pytest
+
+from repro.dataflow import (
+    Actor,
+    DataflowGraph,
+    Direction,
+    DynamicRate,
+    GraphError,
+    Port,
+)
+
+
+class TestPort:
+    def test_static_port_defaults(self):
+        port = Port("p", Direction.INPUT)
+        assert port.rate == 1
+        assert port.token_bytes == 4
+        assert not port.is_dynamic
+        assert port.max_rate == 1
+
+    def test_dynamic_port_max_rate_is_bound(self):
+        port = Port("p", Direction.OUTPUT, rate=DynamicRate(7))
+        assert port.is_dynamic
+        assert port.max_rate == 7
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(GraphError, match="direction"):
+            Port("p", "sideways")
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(GraphError, match="positive"):
+            Port("p", Direction.INPUT, rate=0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(GraphError):
+            Port("p", Direction.INPUT, rate=-3)
+
+    def test_rejects_bool_rate(self):
+        with pytest.raises(GraphError):
+            Port("p", Direction.INPUT, rate=True)
+
+    def test_rejects_float_rate(self):
+        with pytest.raises(GraphError, match="int or DynamicRate"):
+            Port("p", Direction.INPUT, rate=1.5)
+
+    def test_rejects_nonpositive_token_bytes(self):
+        with pytest.raises(GraphError, match="token_bytes"):
+            Port("p", Direction.INPUT, token_bytes=0)
+
+    def test_qualified_name_detached(self):
+        assert "<detached>" in Port("p", Direction.INPUT).qualified_name
+
+
+class TestActor:
+    def test_duplicate_port_rejected(self):
+        actor = Actor("A")
+        actor.add_input("i")
+        with pytest.raises(GraphError, match="already has a port"):
+            actor.add_input("i")
+
+    def test_unknown_port_lookup(self):
+        actor = Actor("A")
+        with pytest.raises(GraphError, match="no port"):
+            actor.port("missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            Actor("")
+
+    def test_structural_fire_produces_rate_tokens(self):
+        actor = Actor("A")
+        actor.add_output("o", rate=3)
+        outputs = actor.fire(0, {})
+        assert outputs == {"o": [None, None, None]}
+
+    def test_kernel_missing_output_rejected(self):
+        actor = Actor("A", kernel=lambda k, inputs: {})
+        actor.add_output("o")
+        with pytest.raises(GraphError, match="did not produce"):
+            actor.fire(0, {})
+
+    def test_callable_cycles(self):
+        actor = Actor("A", cycles=lambda k, inputs: 10 * (k + 1))
+        assert actor.execution_cycles(0) == 10
+        assert actor.execution_cycles(2) == 30
+
+    def test_negative_cycles_rejected(self):
+        actor = Actor("A", cycles=lambda k, inputs: -1)
+        with pytest.raises(GraphError, match="negative"):
+            actor.execution_cycles(0)
+
+    def test_is_dynamic_reflects_ports(self):
+        actor = Actor("A")
+        actor.add_output("o")
+        assert not actor.is_dynamic
+        actor.add_output("d", rate=DynamicRate(2))
+        assert actor.is_dynamic
+
+
+class TestDataflowGraph:
+    def test_duplicate_actor_rejected(self):
+        graph = DataflowGraph()
+        graph.actor("A")
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.actor("A")
+
+    def test_connect_by_tuple_and_port(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        b = graph.actor("B")
+        out = a.add_output("o")
+        b.add_input("i")
+        edge = graph.connect(out, (b, "i"))
+        assert edge.src_actor is a
+        assert edge.snk_actor is b
+
+    def test_connect_rejects_foreign_port(self):
+        graph = DataflowGraph()
+        graph.actor("A").add_output("o")
+        other = DataflowGraph()
+        b = other.actor("B")
+        b.add_input("i")
+        with pytest.raises(GraphError, match="does not belong"):
+            graph.connect((graph.get_actor("A"), "o"), (b, "i"))
+
+    def test_output_port_single_use(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        a.add_output("o")
+        b = graph.actor("B")
+        b.add_input("i")
+        c = graph.actor("C")
+        c.add_input("i")
+        graph.connect((a, "o"), (b, "i"))
+        with pytest.raises(GraphError, match="already connected"):
+            graph.connect((a, "o"), (c, "i"))
+
+    def test_validate_flags_unconnected_port(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        a.add_output("o")
+        with pytest.raises(GraphError, match="unconnected"):
+            graph.validate()
+
+    def test_interface_port_passes_validation(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        port = a.add_output("o")
+        graph.mark_interface(port)
+        graph.validate()
+        assert graph.is_interface_port(port)
+
+    def test_token_size_mismatch_rejected(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        a.add_output("o", token_bytes=2)
+        b = graph.actor("B")
+        b.add_input("i", token_bytes=4)
+        graph.connect((a, "o"), (b, "i"))
+        with pytest.raises(GraphError, match="token size"):
+            graph.validate()
+
+    def test_topological_order_ignores_delay_edges(self, cyclic_graph):
+        order = [a.name for a in cyclic_graph.topological_order()]
+        assert order == ["A", "B"]
+
+    def test_topological_order_detects_zero_delay_cycle(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        b = graph.actor("B")
+        a.add_input("i")
+        a.add_output("o")
+        b.add_input("i")
+        b.add_output("o")
+        graph.connect((a, "o"), (b, "i"))
+        graph.connect((b, "o"), (a, "i"))  # no delay
+        with pytest.raises(GraphError, match="cycle"):
+            graph.topological_order()
+
+    def test_is_connected(self, chain_graph):
+        assert chain_graph.is_connected()
+        graph = DataflowGraph()
+        graph.actor("X")
+        graph.actor("Y")
+        assert not graph.is_connected()
+
+    def test_successors_predecessors(self, chain_graph):
+        b = chain_graph.get_actor("B")
+        assert [a.name for a in chain_graph.predecessors(b)] == ["A"]
+        assert [a.name for a in chain_graph.successors(b)] == ["C"]
+
+    def test_edge_between(self, chain_graph):
+        edge = chain_graph.edge_between("A", "B")
+        assert edge.src_actor.name == "A"
+        with pytest.raises(GraphError, match="no edge"):
+            chain_graph.edge_between("C", "A")
+
+    def test_copy_structure_preserves_everything(self, multirate_graph):
+        clone = multirate_graph.copy_structure()
+        assert len(clone) == len(multirate_graph)
+        assert len(clone.edges) == len(multirate_graph.edges)
+        for orig, copy in zip(multirate_graph.edges, clone.edges):
+            assert orig.source.rate == copy.source.rate
+            assert orig.delay == copy.delay
+            assert orig.name == copy.name
+
+    def test_copy_structure_preserves_initial_tokens(self, cyclic_graph):
+        edge = cyclic_graph.edge_between("B", "A")
+        edge.set_initial_tokens([42])
+        clone = cyclic_graph.copy_structure()
+        assert clone.edge_between("B", "A").initial_tokens == [42]
+
+    def test_initial_tokens_length_checked(self, cyclic_graph):
+        edge = cyclic_graph.edge_between("B", "A")
+        with pytest.raises(GraphError, match="initial values"):
+            edge.set_initial_tokens([1, 2])
+
+    def test_to_dot_contains_actors_and_edges(self, chain_graph):
+        dot = chain_graph.to_dot()
+        assert '"A" -> "B"' in dot
+        assert "digraph" in dot
+
+    def test_dynamic_edge_classification(self, fig1_graph):
+        assert fig1_graph.is_dynamic
+        assert len(fig1_graph.dynamic_edges) == 1
+        assert not fig1_graph.static_edges
+
+    def test_edge_rejects_wrong_port_directions(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        b = graph.actor("B")
+        a.add_input("i")
+        b.add_input("i")
+        with pytest.raises(GraphError, match="not an output"):
+            graph.connect((a, "i"), (b, "i"))
+
+    def test_negative_delay_rejected(self):
+        graph = DataflowGraph()
+        a = graph.actor("A")
+        b = graph.actor("B")
+        a.add_output("o")
+        b.add_input("i")
+        with pytest.raises(GraphError, match="delay"):
+            graph.connect((a, "o"), (b, "i"), delay=-1)

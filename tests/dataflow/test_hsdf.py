@@ -1,0 +1,95 @@
+"""Unit tests for HSDF expansion."""
+
+import pytest
+
+from repro.dataflow import DataflowGraph, build_pass, repetitions_vector
+from repro.dataflow.hsdf import hsdf_expand, invocation_name
+
+
+class TestHsdfExpand:
+    def test_vertex_count_is_sum_of_repetitions(self, multirate_graph):
+        expanded = hsdf_expand(multirate_graph)
+        reps = repetitions_vector(multirate_graph)
+        assert len(expanded) == sum(reps.values())
+
+    def test_all_rates_are_one(self, multirate_graph):
+        expanded = hsdf_expand(multirate_graph)
+        for actor in expanded.actors:
+            for port in actor.ports:
+                assert port.rate == 1
+
+    def test_expansion_is_consistent_homogeneous(self, multirate_graph):
+        expanded = hsdf_expand(multirate_graph)
+        reps = repetitions_vector(expanded)
+        assert all(count == 1 for count in reps.values())
+
+    def test_expansion_schedulable(self, multirate_graph):
+        expanded = hsdf_expand(multirate_graph)
+        schedule = build_pass(expanded)
+        assert len(schedule) == len(expanded)
+
+    def test_homogeneous_graph_maps_one_to_one(self, chain_graph):
+        expanded = hsdf_expand(chain_graph)
+        assert len(expanded) == 3
+        assert {a.name for a in expanded} == {
+            invocation_name("A", 0),
+            invocation_name("B", 0),
+            invocation_name("C", 0),
+        }
+
+    def test_precedence_structure_simple(self):
+        # A produces 2, B consumes 1 => B#0 and B#1 both depend on A#0
+        graph = DataflowGraph("fan")
+        a = graph.actor("A")
+        b = graph.actor("B")
+        a.add_output("o", rate=2)
+        b.add_input("i", rate=1)
+        graph.connect((a, "o"), (b, "i"))
+        expanded = hsdf_expand(graph)
+        deps = {
+            (e.src_actor.name, e.snk_actor.name, e.delay)
+            for e in expanded.edges
+        }
+        assert ("A#0", "B#0", 0) in deps
+        assert ("A#0", "B#1", 0) in deps
+
+    def test_delay_becomes_iteration_offset(self, cyclic_graph):
+        expanded = hsdf_expand(cyclic_graph)
+        deps = {
+            (e.src_actor.name, e.snk_actor.name): e.delay
+            for e in expanded.edges
+        }
+        assert deps[("A#0", "B#0")] == 0
+        assert deps[("B#0", "A#0")] == 1
+
+    def test_invocation_cycles_inherited(self, multirate_graph):
+        expanded = hsdf_expand(multirate_graph)
+        a0 = expanded.get_actor("A#0")
+        assert a0.execution_cycles(0) == 5
+
+    def test_multirate_delay_distribution(self):
+        # A(1) -> (1)B with 3 delays, both homogeneous: offset 3.
+        graph = DataflowGraph("d")
+        a = graph.actor("A")
+        b = graph.actor("B")
+        a.add_output("o")
+        b.add_input("i")
+        graph.connect((a, "o"), (b, "i"), delay=3)
+        expanded = hsdf_expand(graph)
+        assert expanded.edges[0].delay == 3
+
+    def test_rate2_delay1_split(self):
+        # prod 2, cons 2, delay 1: B#k consumes 1 old + 1 new token.
+        graph = DataflowGraph("mix")
+        a = graph.actor("A")
+        b = graph.actor("B")
+        a.add_output("o", rate=2)
+        b.add_input("i", rate=2)
+        graph.connect((a, "o"), (b, "i"), delay=1)
+        expanded = hsdf_expand(graph)
+        deps = {
+            (e.src_actor.name, e.snk_actor.name): e.delay
+            for e in expanded.edges
+        }
+        # B#0 needs A#0 of the same iteration (token 1 of 2) — min delay 0
+        assert deps[("A#0", "B#0")] == 0

@@ -1,0 +1,152 @@
+"""Unit and integration tests for the restricted-KPN adapter."""
+
+import pytest
+
+from repro.dataflow import GraphError
+from repro.dataflow.kpn import KpnChannelSpec, KpnNetwork, KpnProcess
+from repro.mapping import Partition
+from repro.spi import SpiSystem
+
+
+def words(max_tokens=4, minimum=0):
+    return KpnChannelSpec(
+        max_tokens_per_step=max_tokens,
+        token_bytes=4,
+        min_tokens_per_step=minimum,
+    )
+
+
+def build_splitter_network(collect):
+    """source -> splitter -> (evens, odds) -> merger: data-dependent
+    message sizes, the classic KPN example."""
+    network = KpnNetwork("split_merge")
+
+    def source_step(k, inputs):
+        return {"out": list(range(k % 4 + 1))}
+
+    def splitter_step(k, inputs):
+        values = inputs["in"]
+        return {
+            "evens": [v for v in values if v % 2 == 0],
+            "odds": [v for v in values if v % 2 == 1],
+        }
+
+    def merger_step(k, inputs):
+        merged = sorted(inputs["evens"] + inputs["odds"])
+        collect.append(merged)
+        return {}
+
+    network.add(
+        KpnProcess("source", source_step, work_cycles=5).writes(
+            "out", words()
+        )
+    )
+    network.add(
+        KpnProcess("splitter", splitter_step, work_cycles=8)
+        .reads("in", words())
+        .writes("evens", words())
+        .writes("odds", words())
+    )
+    network.add(
+        KpnProcess("merger", merger_step, work_cycles=6)
+        .reads("evens", words())
+        .reads("odds", words())
+    )
+    network.connect("source", "out", "splitter", "in")
+    network.connect("splitter", "evens", "merger", "evens")
+    network.connect("splitter", "odds", "merger", "odds")
+    return network
+
+
+class TestSpecValidation:
+    def test_unbounded_channel_rejected(self):
+        with pytest.raises(GraphError, match="general KPN"):
+            KpnChannelSpec(max_tokens_per_step=0)
+
+    def test_bounds_ordering(self):
+        with pytest.raises(GraphError):
+            KpnChannelSpec(max_tokens_per_step=2, min_tokens_per_step=3)
+
+    def test_mismatched_endpoint_specs_rejected(self):
+        network = KpnNetwork()
+        network.add(KpnProcess("a").writes("o", words(4)))
+        network.add(KpnProcess("b").reads("i", words(8)))
+        with pytest.raises(GraphError, match="one type"):
+            network.connect("a", "o", "b", "i")
+
+    def test_duplicate_port_rejected(self):
+        process = KpnProcess("p").writes("o", words())
+        with pytest.raises(GraphError, match="duplicate"):
+            process.writes("o", words())
+
+    def test_unconnected_input_rejected(self):
+        network = KpnNetwork()
+        network.add(KpnProcess("lonely").reads("i", words()))
+        with pytest.raises(GraphError, match="read from nowhere"):
+            network.to_dataflow_graph()
+
+    def test_unconnected_output_becomes_interface(self):
+        network = KpnNetwork()
+        network.add(KpnProcess("src").writes("o", words()))
+        graph = network.to_dataflow_graph()  # validates without error
+        assert len(graph) == 1
+
+
+class TestConversion:
+    def test_ports_become_bounded_dynamic(self):
+        network = build_splitter_network([])
+        graph = network.to_dataflow_graph()
+        splitter = graph.get_actor("splitter")
+        assert splitter.is_dynamic
+        assert splitter.port("in").max_rate == 4
+
+    def test_missing_output_write_detected(self):
+        network = KpnNetwork()
+        network.add(
+            KpnProcess("bad", step=lambda k, i: {}).writes("o", words())
+        )
+        graph = network.to_dataflow_graph()
+        with pytest.raises(GraphError, match="did not write"):
+            graph.get_actor("bad").fire(0, {})
+
+
+class TestEndToEnd:
+    def test_kahn_determinism_through_spi(self):
+        """The same network produces identical output streams on every
+        mapping — Kahn's determinism property, preserved by SPI."""
+        streams = []
+        for assignment in (
+            {"source": 0, "splitter": 0, "merger": 0},
+            {"source": 0, "splitter": 1, "merger": 0},
+            {"source": 0, "splitter": 1, "merger": 2},
+        ):
+            collect = []
+            graph = build_splitter_network(collect).to_dataflow_graph()
+            n_pes = max(assignment.values()) + 1
+            partition = Partition(graph, n_pes, assignment)
+            SpiSystem.compile(graph, partition).run(iterations=8)
+            streams.append(collect)
+        assert streams[0] == streams[1] == streams[2]
+        # and the content is right: step k merges sorted 0..k%4
+        assert streams[0][0] == [0]
+        assert streams[0][3] == [0, 1, 2, 3]
+
+    def test_channels_are_spi_dynamic(self):
+        collect = []
+        graph = build_splitter_network(collect).to_dataflow_graph()
+        partition = Partition(
+            graph, 2, {"source": 0, "splitter": 1, "merger": 0}
+        )
+        system = SpiSystem.compile(graph, partition)
+        assert all(plan.dynamic for plan in system.channel_plans.values())
+
+    def test_blocking_reads_order_messages(self):
+        """Messages on one channel arrive in FIFO order (Kahn channel)."""
+        collect = []
+        graph = build_splitter_network(collect).to_dataflow_graph()
+        partition = Partition(
+            graph, 3, {"source": 0, "splitter": 1, "merger": 2}
+        )
+        SpiSystem.compile(graph, partition).run(iterations=6)
+        sizes = [len(m) for m in collect]
+        assert sizes == [(k % 4) + 1 for k in range(6)]

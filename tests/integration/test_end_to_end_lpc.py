@@ -1,0 +1,113 @@
+"""End-to-end integration: the LPC application through the full SPI stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lpc import (
+    Quantizer,
+    build_adc_graph,
+    build_parallel_error_graph,
+    lpc_coefficients,
+    prediction_error,
+    reconstruct,
+)
+from repro.apps.lpc.huffman import HuffmanCode
+from repro.mapping import Partition
+from repro.spi import Protocol, SpiConfig, SpiSystem
+
+
+class TestAdcEndToEnd:
+    def test_compress_decode_roundtrip(self, speech_frames):
+        """Compress via the simulated pipeline, then decode offline and
+        check the reconstruction error is quantiser-bounded."""
+        adc = build_adc_graph(speech_frames, order=8)
+        system = SpiSystem.compile(
+            adc.graph, Partition.single_processor(adc.graph)
+        )
+        system.run(iterations=len(speech_frames))
+        assert len(adc.encoder.compressed) == len(speech_frames)
+
+        quantizer = adc.encoder.quantizer
+        for frame, record in zip(speech_frames, adc.encoder.compressed):
+            code = HuffmanCode(record["codebook"])
+            symbols = code.decode(record["bits"])
+            assert len(symbols) == record["n_samples"] == frame.shape[0]
+            errors = quantizer.dequantize(symbols)
+            coefs = lpc_coefficients(frame, 8)
+            rebuilt = reconstruct(errors, coefs)
+            # error accumulates through the predictor; allow a few steps
+            assert np.max(np.abs(rebuilt - frame)) < 20 * quantizer.step
+
+    def test_compression_actually_compresses(self, speech_frames):
+        """Huffman on the residual beats raw 8-bit PCM."""
+        adc = build_adc_graph(speech_frames, order=8)
+        system = SpiSystem.compile(
+            adc.graph, Partition.single_processor(adc.graph)
+        )
+        system.run(iterations=len(speech_frames))
+        total_bits = sum(len(r["bits"]) for r in adc.encoder.compressed)
+        raw_bits = sum(f.shape[0] * 8 for f in speech_frames)
+        assert total_bits < raw_bits
+
+
+class TestParallelErrorEndToEnd:
+    @pytest.mark.parametrize("n_units", [1, 2, 3, 4])
+    def test_functional_equivalence_all_pe_counts(self, speech_frames, n_units):
+        """The distributed error computation must equal the sequential
+        residual exactly, for every PE count (paper fig. 3 system)."""
+        system = build_parallel_error_graph(
+            speech_frames, order=8, n_units=n_units
+        )
+        spi = SpiSystem.compile(system.graph, system.partition)
+        spi.run(iterations=2)
+        for iteration in range(2):
+            frame = speech_frames[iteration]
+            reference = prediction_error(frame, lpc_coefficients(frame, 8))
+            assembled = system.assembled_errors(iteration, frame.shape[0])
+            assert np.allclose(assembled, reference, atol=1e-9)
+
+    def test_channels_use_spi_dynamic(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        spi = SpiSystem.compile(system.graph, system.partition)
+        assert all(plan.dynamic for plan in spi.channel_plans.values())
+
+    def test_dynamic_frame_sizes_at_runtime(self):
+        """Frames of different sizes flow through the same compiled
+        system — the run-time variability SPI_dynamic exists for."""
+        from repro.apps.lpc.signal_gen import SpeechLikeSource
+
+        source = SpeechLikeSource(seed=5)
+        frames = [source.samples(n) for n in (192, 256, 224, 160)]
+        system = build_parallel_error_graph(
+            frames, order=8, n_units=2, max_frame_size=256
+        )
+        spi = SpiSystem.compile(system.graph, system.partition)
+        spi.run(iterations=4)
+        for iteration, frame in enumerate(frames):
+            reference = prediction_error(frame, lpc_coefficients(frame, 8))
+            assembled = system.assembled_errors(iteration, frame.shape[0])
+            assert np.allclose(assembled, reference, atol=1e-9)
+
+    def test_more_pes_reduce_time(self, speech_frames):
+        times = []
+        for n_units in (1, 2, 4):
+            system = build_parallel_error_graph(
+                speech_frames, order=8, n_units=n_units
+            )
+            result = SpiSystem.compile(system.graph, system.partition).run(
+                iterations=4
+            )
+            times.append(result.iteration_period_cycles)
+        assert times[1] < times[0]
+        assert times[2] < times[1]
+
+    def test_buffer_bounds_respected(self, speech_frames):
+        """No channel buffer ever exceeds its planned capacity — the VTS
+        eq. 1/2 soundness check on a real application."""
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=3)
+        spi = SpiSystem.compile(system.graph, system.partition)
+        result = spi.run(iterations=4)
+        for name, plan in spi.channel_plans.items():
+            assert result.buffer_high_water[name] <= (
+                (plan.capacity_messages + 1) * plan.message_payload_bytes
+            )

@@ -1,0 +1,111 @@
+"""Latency analysis helpers + property tests for auto-pipelining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import first_output_latency, pipeline_fill_latency
+from repro.dataflow import DataflowGraph, repetitions_vector
+from repro.mapping import Partition, auto_pipeline
+from repro.spi import SpiSystem
+
+
+def chain(cycle_list):
+    graph = DataflowGraph("chain")
+    actors = [
+        graph.actor(f"s{i}", cycles=c) for i, c in enumerate(cycle_list)
+    ]
+    for left, right in zip(actors, actors[1:]):
+        out = left.add_output(f"to_{right.name}")
+        inp = right.add_input(f"from_{left.name}")
+        graph.connect(out, inp)
+    return graph
+
+
+class TestLatencyHelpers:
+    def compiled(self, pipelined):
+        if pipelined:
+            result = auto_pipeline(chain([100, 200, 100]), stages=3)
+            partition = Partition.manual(result.graph, result.stages)
+            return SpiSystem.compile(result.graph, partition)
+        graph = chain([100, 200, 100])
+        partition = Partition.manual(graph, {"s0": 0, "s1": 1, "s2": 2})
+        return SpiSystem.compile(graph, partition)
+
+    def test_first_output_latency(self):
+        run = self.compiled(pipelined=False).run(iterations=5, trace=True)
+        latency = first_output_latency(run.trace, "fire:s2")
+        # at least the chain's compute time
+        assert latency >= 400
+
+    def test_pipelining_trades_latency_for_throughput(self):
+        graph = chain([100, 200, 100])
+        sequential = SpiSystem.compile(
+            graph, Partition.single_processor(graph)
+        ).run(iterations=30, trace=True)
+        piped = self.compiled(pipelined=True).run(iterations=30, trace=True)
+        seq_latency = pipeline_fill_latency(
+            sequential.trace, "fire:s0", "fire:s2"
+        )
+        piped_sink = (
+            "fire:s2" if piped.trace.events_of("fire:s2") else "sync:fire:s2"
+        )
+        piped_latency = first_output_latency(piped.trace, piped_sink)
+        # the pipelined system answers its first *settled* result
+        # result.latency_iterations periods later than its own period…
+        assert piped_latency >= 0
+        assert seq_latency >= 400  # full chain before the first output
+        # …but streams strictly faster than the sequential baseline
+        assert (
+            piped.iteration_period_cycles
+            < sequential.iteration_period_cycles
+        )
+
+    def test_unknown_task_rejected(self):
+        run = self.compiled(pipelined=False).run(iterations=3, trace=True)
+        with pytest.raises(ValueError, match="no executions"):
+            first_output_latency(run.trace, "ghost")
+
+
+class TestAutoPipelineProperties:
+    @given(
+        cycles=st.lists(st.integers(50, 500), min_size=3, max_size=6),
+        data=st.data(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_chains_reach_near_mcm(self, cycles, data):
+        stages = data.draw(st.integers(2, len(cycles)))
+        result = auto_pipeline(chain(cycles), stages=stages)
+        # structural invariants
+        repetitions_vector(result.graph)
+        result.graph.validate()
+        assert set(result.stages.values()) == set(range(stages))
+        # stage indices monotone along the chain
+        order = [result.stages[f"s{i}"] for i in range(len(cycles))]
+        assert order == sorted(order)
+
+        partition = Partition.manual(result.graph, result.stages)
+        system = SpiSystem.compile(result.graph, partition)
+        run = system.run(iterations=25, max_cycles=10_000_000)
+        mcm = system.estimated_iteration_period_cycles()
+        # the self-timed execution settles onto (or near) the MCM bound;
+        # the additive slack covers link transfer latency, which the
+        # synchronization-graph MCM does not model (task times only)
+        assert run.iteration_period_cycles <= mcm * 1.10 + 40
+        # and never exceeds the sequential period
+        assert run.iteration_period_cycles <= sum(cycles) + 50
+
+    @given(cycles=st.lists(st.integers(50, 500), min_size=3, max_size=6))
+    @settings(max_examples=10, deadline=None)
+    def test_pipelining_never_slower_than_sequential(self, cycles):
+        graph = chain(cycles)
+        sequential = SpiSystem.compile(
+            graph, Partition.single_processor(graph)
+        ).run(iterations=8)
+        result = auto_pipeline(chain(cycles), stages=min(3, len(cycles)))
+        partition = Partition.manual(result.graph, result.stages)
+        piped = SpiSystem.compile(result.graph, partition).run(iterations=20)
+        assert (
+            piped.iteration_period_cycles
+            <= sequential.iteration_period_cycles * 1.02
+        )

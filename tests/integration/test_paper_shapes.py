@@ -1,0 +1,184 @@
+"""The paper's evaluation *shapes*, as assertions.
+
+Absolute numbers depend on the substrate (our simulator vs the authors'
+Virtex-4 board); these tests pin down the qualitative results every
+figure and table reports, so a regression that flips a conclusion fails
+loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lpc import build_parallel_error_graph, frame_stream
+from repro.apps.particle_filter import (
+    CrackGrowthModel,
+    build_particle_filter_graph,
+    simulate_crack_history,
+)
+from repro.mapping import EdgeKind, derive_sync_graph
+from repro.platform import VIRTEX4_SX35
+from repro.spi import SpiConfig, SpiSystem
+
+
+class TestFigure6Shapes:
+    """Execution time of actor D vs sample size, n = 1..4."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        times = {}
+        for size in (128, 256, 512):
+            frames = frame_stream(total_samples=2 * size, frame_size=size)
+            for n in (1, 2, 4):
+                system = build_parallel_error_graph(frames, order=8, n_units=n)
+                result = SpiSystem.compile(
+                    system.graph, system.partition
+                ).run(iterations=4)
+                times[(size, n)] = result.iteration_period_cycles
+        return times
+
+    def test_time_grows_with_sample_size(self, sweep):
+        for n in (1, 2, 4):
+            assert sweep[(128, n)] < sweep[(256, n)] < sweep[(512, n)]
+
+    def test_more_pes_win_at_every_size(self, sweep):
+        for size in (128, 256, 512):
+            assert sweep[(size, 1)] > sweep[(size, 2)] > sweep[(size, 4)]
+
+    def test_speedup_sublinear(self, sweep):
+        """The serialized I/O interface bounds the gain below n."""
+        for size in (128, 256, 512):
+            assert sweep[(size, 1)] / sweep[(size, 4)] < 4.0
+
+    def test_speedup_improves_with_problem_size(self, sweep):
+        """Bigger frames amortise communication better (fig. 6's curves
+        diverge as sample size grows)."""
+        small_gain = sweep[(128, 1)] / sweep[(128, 4)]
+        large_gain = sweep[(512, 1)] / sweep[(512, 4)]
+        assert large_gain > small_gain
+
+
+class TestFigure7Shapes:
+    """Execution time of the PF vs particle count, n = 1, 2."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        model = CrackGrowthModel()
+        _, observations = simulate_crack_history(model, steps=6, seed=7)
+        times = {}
+        for particles in (50, 100, 200, 300):
+            for n in (1, 2):
+                system = build_particle_filter_graph(
+                    model, observations, n_particles=particles, n_pes=n
+                )
+                result = SpiSystem.compile(
+                    system.graph, system.partition
+                ).run(iterations=6)
+                times[(particles, n)] = result.iteration_period_cycles
+        return times
+
+    def test_time_grows_with_particles(self, sweep):
+        for n in (1, 2):
+            series = [sweep[(p, n)] for p in (50, 100, 200, 300)]
+            assert series == sorted(series)
+
+    def test_two_pes_win_everywhere(self, sweep):
+        for particles in (50, 100, 200, 300):
+            assert sweep[(particles, 2)] < sweep[(particles, 1)]
+
+    def test_speedup_below_two_and_grows_with_n(self, sweep):
+        gains = [
+            sweep[(p, 1)] / sweep[(p, 2)] for p in (50, 100, 200, 300)
+        ]
+        assert all(1.0 < g < 2.0 for g in gains)
+        assert gains[-1] > gains[0]  # communication amortised
+
+
+class TestTableShapes:
+    """Tables 1 and 2: the SPI library is a small part of the system."""
+
+    def test_table1_lpc_spi_share_small(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=4)
+        spi = SpiSystem.compile(system.graph, system.partition)
+        report = spi.fpga_report(device=VIRTEX4_SX35)
+        relative = report.spi_relative_percent()
+        # communication-light system: SPI noticeable but minor
+        assert 0 < relative["slices"] < 40
+        assert relative["dsp48"] == 0.0
+        assert VIRTEX4_SX35.fits(report.full_system)
+
+    def test_table2_pf_spi_share_tiny(self, crack_setup):
+        model, _, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=200, n_pes=2
+        )
+        spi = SpiSystem.compile(system.graph, system.partition)
+        report = spi.fpga_report(device=VIRTEX4_SX35)
+        relative = report.spi_relative_percent()
+        # compute-dominated system: SPI slice share below a few percent
+        assert relative["slices"] < 5.0
+        assert relative["dsp48"] == 0.0
+
+    def test_pf_per_pe_cost_high(self, crack_setup):
+        """Why the paper could only fit 2 PF PEs: each PE is expensive."""
+        from repro.apps.particle_filter import pf_pe_resources
+
+        per_pe = pf_pe_resources(100)
+        four_pe_dsp = 4 * per_pe.dsp48
+        assert four_pe_dsp > VIRTEX4_SX35.capacity.dsp48 / 3
+
+
+class TestResynchronizationShapes:
+    """Figures 3 and 5: resynchronization removes acknowledgment traffic."""
+
+    def _ack_edges(self, system):
+        reference = (
+            system.resync_result.graph
+            if system.resync_result is not None
+            else system.sync_graph
+        )
+        return reference.edges_of_kind(EdgeKind.ACK)
+
+    def test_lpc_acks_all_redundant(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=3)
+        no_resync = SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=False),
+        )
+        with_resync = SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+        )
+        before = len(no_resync.sync_graph.edges_of_kind(EdgeKind.ACK))
+        after = len(self._ack_edges(with_resync))
+        assert before == 9  # 3 channels x 3 PEs
+        assert after == 0  # the closed I/O loop implies every ack
+
+    def test_pf_acks_all_redundant(self, crack_setup):
+        model, _, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=40, n_pes=2
+        )
+        with_resync = SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+        )
+        assert len(self._ack_edges(with_resync)) == 0
+
+    def test_resync_reduces_measured_traffic(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        base = SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=False),
+        ).run(iterations=4)
+        optimized = SpiSystem.compile(
+            system.graph,
+            system.partition,
+            SpiConfig(protocol_policy="always_ubs", resynchronize=True),
+        ).run(iterations=4)
+        assert base.ack_messages > 0
+        assert optimized.ack_messages == 0
+        assert optimized.execution_time_us <= base.execution_time_us

@@ -1,0 +1,171 @@
+"""Property-based fuzzing of the whole stack on random SDF graphs.
+
+Hypothesis generates random consistent multirate DAGs with random
+delays, execution times and partitions; the invariants below must hold
+for every one of them:
+
+* the repetitions vector satisfies the balance equations,
+* the PASS is admissible and restores the initial token state,
+* HSDF expansion has sum-of-repetitions many vertices and is itself
+  consistent and schedulable,
+* SPI compilation + self-timed simulation completes (no deadlock) with
+  exactly the statically-predicted number of data messages,
+* no channel buffer ever exceeds its planned capacity,
+* the measured steady-state period is never below the MCM bound of the
+  synchronization graph.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import (
+    DataflowGraph,
+    build_pass,
+    repetitions_vector,
+)
+from repro.dataflow.hsdf import hsdf_expand
+from repro.mapping import Partition
+from repro.spi import SpiConfig, SpiSystem
+
+
+@st.composite
+def random_sdf_graph(draw):
+    """A random *consistent* SDF DAG.
+
+    Consistency by construction: draw the repetitions vector ``q``
+    first, then give every edge rates ``prod = k * lcm / q_src`` and
+    ``cons = k * lcm / q_snk`` so the balance equation holds regardless
+    of the DAG shape (reconvergent paths included).
+    """
+    import math
+
+    n_actors = draw(st.integers(2, 6))
+    graph = DataflowGraph("fuzz")
+    actors = []
+    reps = []
+    for index in range(n_actors):
+        cycles = draw(st.integers(1, 50))
+        actors.append(graph.actor(f"a{index}", cycles=cycles))
+        reps.append(draw(st.integers(1, 4)))
+    edges = 0
+    for index in range(1, n_actors):
+        # each actor consumes from >=1 earlier actor: graph stays a DAG
+        n_inputs = draw(st.integers(1, min(2, index)))
+        sources = draw(
+            st.lists(
+                st.integers(0, index - 1),
+                min_size=n_inputs,
+                max_size=n_inputs,
+                unique=True,
+            )
+        )
+        for src_index in sources:
+            q_src, q_snk = reps[src_index], reps[index]
+            lcm = q_src * q_snk // math.gcd(q_src, q_snk)
+            k = draw(st.integers(1, 2))
+            prod = k * lcm // q_src
+            cons = k * lcm // q_snk
+            delay = draw(st.integers(0, 2))
+            src = actors[src_index]
+            snk = actors[index]
+            out_port = src.add_output(f"o{edges}", rate=prod)
+            in_port = snk.add_input(f"i{edges}", rate=cons)
+            graph.connect(out_port, in_port, delay=delay)
+            edges += 1
+    graph.validate()
+    return graph
+
+
+@st.composite
+def graph_with_partition(draw):
+    graph = draw(random_sdf_graph())
+    n_pes = draw(st.integers(1, 3))
+    assignment = {
+        actor.name: draw(st.integers(0, n_pes - 1)) for actor in graph
+    }
+    return graph, Partition(graph, n_pes, assignment)
+
+
+class TestSdfInvariants:
+    @given(graph=random_sdf_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_balance_and_pass(self, graph):
+        reps = repetitions_vector(graph)
+        for edge in graph.edges:
+            assert (
+                reps[edge.src_actor.name] * edge.source.rate
+                == reps[edge.snk_actor.name] * edge.sink.rate
+            )
+        schedule = build_pass(graph)  # DAGs never deadlock
+        assert len(schedule) == sum(reps.values())
+
+    @given(graph=random_sdf_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_hsdf_expansion_invariants(self, graph):
+        reps = repetitions_vector(graph)
+        expanded = hsdf_expand(graph)
+        assert len(expanded) == sum(reps.values())
+        expanded_reps = repetitions_vector(expanded)
+        assert all(count == 1 for count in expanded_reps.values())
+        assert len(build_pass(expanded)) == len(expanded)
+
+
+class TestSpiStackInvariants:
+    @given(case=graph_with_partition())
+    @settings(max_examples=20, deadline=None)
+    def test_compile_run_completes_with_predicted_traffic(self, case):
+        graph, partition = case
+        # resynchronization off: this test isolates the traffic contract
+        system = SpiSystem.compile(
+            graph, partition, SpiConfig(resynchronize=False)
+        )
+        iterations = 3
+        result = system.run(iterations=iterations, max_cycles=10_000_000)
+
+        reps = repetitions_vector(system.insertion.graph)
+        expected_messages = sum(
+            reps[plan.send_actor] for plan in system.channel_plans.values()
+        ) * iterations
+        assert result.data_messages == expected_messages
+
+        for name, plan in system.channel_plans.items():
+            bound = (plan.capacity_messages + 1) * plan.message_payload_bytes
+            assert result.buffer_high_water[name] <= bound
+
+    @given(case=graph_with_partition())
+    @settings(max_examples=10, deadline=None)
+    def test_makespan_never_beats_mcm(self, case):
+        """MCM is an asymptotic lower bound; initial delay tokens allow a
+        bounded transient run-ahead, so compare total makespan against
+        ``MCM * (iterations - total_delays)`` — the provable form."""
+        graph, partition = case
+        system = SpiSystem.compile(graph, partition)
+        iterations = 12
+        result = system.run(iterations=iterations, max_cycles=10_000_000)
+        mcm = system.estimated_iteration_period_cycles()
+        slack_iterations = sum(
+            e.delay for e in system.insertion.graph.edges
+        ) + 1
+        floor = mcm * max(0, iterations - slack_iterations)
+        assert result.cycles >= floor - 1e-6
+
+    @given(case=graph_with_partition())
+    @settings(max_examples=10, deadline=None)
+    def test_ubs_policy_also_completes(self, case):
+        """Forced UBS with a small window must still be deadlock-free,
+        with and without resynchronization (whose added sync edges are
+        enforced at run time)."""
+        graph, partition = case
+        for resync in (False, True):
+            system = SpiSystem.compile(
+                graph,
+                partition,
+                SpiConfig(
+                    protocol_policy="always_ubs",
+                    ubs_window=2,
+                    resynchronize=resync,
+                ),
+            )
+            result = system.run(iterations=6, max_cycles=10_000_000)
+            assert result.iterations == 6

@@ -1,0 +1,76 @@
+"""Integration: SPI against the MPI baseline on the paper applications."""
+
+import pytest
+
+from repro.apps.lpc import build_parallel_error_graph
+from repro.apps.particle_filter import build_particle_filter_graph
+from repro.mpi import MpiSystem
+from repro.spi import SpiSystem
+
+
+class TestLpcComparison:
+    def test_spi_faster_on_parallel_error(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        spi = SpiSystem.compile(system.graph, system.partition).run(
+            iterations=4
+        )
+        system2 = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        mpi = MpiSystem.compile(system2.graph, system2.partition).run(
+            iterations=4
+        )
+        assert spi.execution_time_us < mpi.execution_time_us
+
+    def test_spi_less_overhead_bytes(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        spi = SpiSystem.compile(system.graph, system.partition).run(
+            iterations=4
+        )
+        system2 = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        mpi = MpiSystem.compile(system2.graph, system2.partition).run(
+            iterations=4
+        )
+        assert spi.overhead_bytes < mpi.overhead_bytes
+        # same application data moved either way
+        assert spi.payload_bytes == mpi.payload_bytes
+
+    def test_mpi_functionally_correct_too(self, speech_frames):
+        """The baseline must be a *fair* baseline: same results."""
+        import numpy as np
+
+        from repro.apps.lpc import lpc_coefficients, prediction_error
+
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        MpiSystem.compile(system.graph, system.partition).run(iterations=2)
+        frame = speech_frames[0]
+        reference = prediction_error(frame, lpc_coefficients(frame, 8))
+        assembled = system.assembled_errors(0, frame.shape[0])
+        assert np.allclose(assembled, reference, atol=1e-9)
+
+
+class TestPfComparison:
+    def test_spi_faster_on_particle_filter(self, crack_setup):
+        model, _, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=100, n_pes=2
+        )
+        spi = SpiSystem.compile(system.graph, system.partition).run(
+            iterations=6
+        )
+        system2 = build_particle_filter_graph(
+            model, observations, n_particles=100, n_pes=2
+        )
+        mpi = MpiSystem.compile(system2.graph, system2.partition).run(
+            iterations=6
+        )
+        assert spi.execution_time_us < mpi.execution_time_us
+
+
+class TestLibraryFootprint:
+    def test_spi_fabric_smaller_than_mpi(self, speech_frames):
+        system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
+        spi = SpiSystem.compile(system.graph, system.partition)
+        mpi = MpiSystem.compile(system.graph, system.partition)
+        assert (
+            spi.spi_library_resources().slices
+            < mpi.library_resources().slices
+        )

@@ -1,0 +1,114 @@
+"""Unit tests for exhaustive partition search and the describe() report."""
+
+import pytest
+
+from repro.dataflow import DataflowGraph, GraphError
+from repro.mapping import Partition
+from repro.spi import SpiSystem
+
+
+def fork_graph():
+    """src feeding two heavy parallel branches joined by a sink."""
+    graph = DataflowGraph("fork")
+    src = graph.actor("src", cycles=10)
+    left = graph.actor("left", cycles=400)
+    right = graph.actor("right", cycles=400)
+    sink = graph.actor("sink", cycles=10)
+    src.add_output("l")
+    src.add_output("r")
+    left.add_input("i")
+    left.add_output("o")
+    right.add_input("i")
+    right.add_output("o")
+    sink.add_input("l")
+    sink.add_input("r")
+    graph.connect((src, "l"), (left, "i"))
+    graph.connect((src, "r"), (right, "i"))
+    graph.connect((left, "o"), (sink, "l"))
+    graph.connect((right, "o"), (sink, "r"))
+    return graph
+
+
+class TestExhaustive:
+    def test_separates_heavy_branches(self):
+        partition = Partition.exhaustive(fork_graph(), n_pes=2)
+        assert partition.assignment["left"] != partition.assignment["right"]
+
+    def test_never_worse_than_heuristics(self):
+        from repro.mapping import (
+            build_ipc_graph,
+            build_selftimed_schedule,
+            maximum_cycle_mean,
+        )
+
+        graph = fork_graph()
+
+        def mcm_of(partition):
+            schedule = build_selftimed_schedule(graph, partition)
+            return maximum_cycle_mean(build_ipc_graph(schedule))
+
+        best = Partition.exhaustive(graph, n_pes=2)
+        heuristic = Partition.assign(graph, 2, strategy="list")
+        assert mcm_of(best) <= mcm_of(heuristic) + 1e-6
+
+    def test_symmetry_broken(self):
+        partition = Partition.exhaustive(fork_graph(), n_pes=2)
+        assert partition.assignment["src"] == 0  # first actor pinned
+
+    def test_custom_cost(self):
+        # a cost that hates interprocessor edges -> single PE wins
+        partition = Partition.exhaustive(
+            fork_graph(),
+            n_pes=2,
+            cost=lambda p: len(p.interprocessor_edges()),
+        )
+        assert len(set(partition.assignment.values())) == 1
+
+    def test_size_limit(self):
+        graph = DataflowGraph("big")
+        previous = None
+        for index in range(13):
+            actor = graph.actor(f"a{index}", cycles=1)
+            if previous is not None:
+                out = previous.add_output(f"o{index}")
+                inp = actor.add_input(f"i{index}")
+                graph.connect(out, inp)
+            previous = actor
+        with pytest.raises(GraphError, match="too large"):
+            Partition.exhaustive(graph, n_pes=2)
+
+    def test_via_assign_strategy(self):
+        partition = Partition.assign(fork_graph(), 2, strategy="exhaustive")
+        partition.validate()
+
+
+class TestDescribe:
+    def test_report_contents(self):
+        graph = fork_graph()
+        partition = Partition.exhaustive(graph, n_pes=2)
+        system = SpiSystem.compile(graph, partition)
+        report = system.describe()
+        assert "SPI system" in report
+        assert "self-timed schedule" in report
+        assert "PE0:" in report and "PE1:" in report
+        assert "SPI_static" in report or "none" in report
+        assert "MCM bound" in report
+
+    def test_single_pe_report(self):
+        graph = fork_graph()
+        system = SpiSystem.compile(graph, Partition.single_processor(graph))
+        assert "none (single PE)" in system.describe()
+
+    def test_vts_noted(self):
+        from repro.dataflow import DynamicRate
+
+        graph = DataflowGraph("dyn")
+        a = graph.actor("A", cycles=1)
+        b = graph.actor("B", cycles=1)
+        a.add_output("o", rate=DynamicRate(3))
+        b.add_input("i", rate=DynamicRate(3))
+        graph.connect((a, "o"), (b, "i"))
+        system = SpiSystem.compile(graph, Partition(graph, 2, {"A": 0, "B": 1}))
+        report = system.describe()
+        assert "VTS conversion" in report
+        assert "SPI_dynamic" in report

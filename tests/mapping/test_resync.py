@@ -1,0 +1,133 @@
+"""Unit and property tests for resynchronization (paper §4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import (
+    EdgeKind,
+    TimedEdge,
+    TimedVertex,
+    maximum_cycle_mean,
+    remove_redundant_synchronizations,
+    resynchronize,
+)
+from repro.mapping.sync_graph import SynchronizationGraph, is_redundant
+
+
+def fan_graph(n_targets=3):
+    """One producer PE fanning out sync edges to n consumer tasks that
+    are chained on one other PE — the textbook resynchronization case:
+    a single sync to the head of the chain subsumes all the others."""
+    graph = SynchronizationGraph("fan")
+    graph.add_vertex(TimedVertex("src", cycles=1, pe=0))
+    previous = None
+    for i in range(n_targets):
+        name = f"t{i}"
+        graph.add_vertex(TimedVertex(name, cycles=1, pe=1))
+        if previous is not None:
+            graph.add_edge(
+                TimedEdge(previous, name, delay=0, kind=EdgeKind.INTRA)
+            )
+        graph.add_edge(
+            TimedEdge("src", name, delay=0, kind=EdgeKind.SYNC)
+        )
+        previous = name
+    return graph
+
+
+class TestRemoveRedundant:
+    def test_fan_collapses_to_head_sync(self):
+        graph = fan_graph(3)
+        pruned, removed = remove_redundant_synchronizations(graph)
+        # syncs to t1 and t2 are implied by the sync to t0 + intra chain
+        assert len(removed) == 2
+        survivors = {
+            (e.src, e.snk)
+            for e in pruned.edges
+            if e.kind == EdgeKind.SYNC
+        }
+        assert survivors == {("src", "t0")}
+
+    def test_mutually_vouching_pair_keeps_one(self):
+        graph = SynchronizationGraph()
+        graph.add_vertex(TimedVertex("a", 1, 0))
+        graph.add_vertex(TimedVertex("b", 1, 1))
+        graph.add_edge(TimedEdge("a", "b", delay=0, kind=EdgeKind.SYNC))
+        graph.add_edge(TimedEdge("a", "b", delay=0, kind=EdgeKind.SYNC))
+        pruned, removed = remove_redundant_synchronizations(graph)
+        assert len(removed) == 1
+        assert len(pruned.edges) == 1
+
+    def test_intra_edges_never_removed(self):
+        graph = fan_graph(3)
+        pruned, _ = remove_redundant_synchronizations(graph)
+        intra = pruned.edges_of_kind(EdgeKind.INTRA)
+        assert len(intra) == 2
+
+    def test_semantics_preserved(self):
+        """Every removed constraint stays implied by the pruned graph."""
+        graph = fan_graph(4)
+        pruned, removed = remove_redundant_synchronizations(graph)
+        rho = pruned.min_delay_paths()
+        for edge in removed:
+            assert rho[edge.src].get(edge.snk, edge.delay + 1) <= edge.delay
+
+
+class TestResynchronize:
+    def test_reports_costs(self):
+        graph = fan_graph(3)
+        result = resynchronize(graph)
+        assert result.cost_before == 3
+        assert result.cost_after <= 1
+        assert result.net_savings >= 2
+
+    def test_never_increases_mcm(self):
+        graph = fan_graph(3)
+        # close the loop so there is a finite MCM to preserve
+        graph.add_edge(TimedEdge("t2", "src", delay=1, kind=EdgeKind.SYNC))
+        before = maximum_cycle_mean(graph)
+        result = resynchronize(graph)
+        assert result.mcm_after <= before * (1 + 1e-5) + 1e-5
+
+    def test_no_zero_delay_cycles_introduced(self):
+        graph = fan_graph(4)
+        result = resynchronize(graph)
+        assert not result.graph.has_zero_delay_cycle()
+
+    def test_ack_edges_removable(self):
+        """A redundant acknowledgment edge disappears (the paper's SPI
+        optimisation: redundant acks are never sent)."""
+        graph = SynchronizationGraph()
+        graph.add_vertex(TimedVertex("send", 1, 0))
+        graph.add_vertex(TimedVertex("recv", 1, 1))
+        graph.add_vertex(TimedVertex("reply", 1, 1))
+        graph.add_vertex(TimedVertex("home", 1, 0))
+        graph.add_edge(TimedEdge("send", "recv", delay=0, kind=EdgeKind.IPC))
+        graph.add_edge(TimedEdge("recv", "reply", delay=0, kind=EdgeKind.INTRA))
+        graph.add_edge(TimedEdge("reply", "home", delay=0, kind=EdgeKind.IPC))
+        graph.add_edge(TimedEdge("home", "send", delay=1, kind=EdgeKind.INTRA))
+        ack = graph.add_edge(
+            TimedEdge("recv", "send", delay=4, kind=EdgeKind.ACK)
+        )
+        assert is_redundant(graph, ack)
+        pruned, removed = remove_redundant_synchronizations(graph)
+        assert ack in removed
+        assert not pruned.edges_of_kind(EdgeKind.ACK)
+
+    def test_resync_preserves_all_original_constraints(self):
+        graph = fan_graph(5)
+        result = resynchronize(graph)
+        rho = result.graph.min_delay_paths()
+        for edge in graph.edges:
+            # implied: a path with at most the original delay exists
+            assert rho[edge.src].get(edge.snk, edge.delay + 1) <= edge.delay
+
+    @given(n=st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_fan_always_improves_or_holds(self, n):
+        graph = fan_graph(n)
+        result = resynchronize(graph)
+        assert result.cost_after <= result.cost_before
+        # at minimum the chain head sync remains
+        assert result.cost_after >= 1

@@ -1,0 +1,124 @@
+"""Unit tests for the timed task-graph substrate."""
+
+import pytest
+
+from repro.mapping import EdgeKind, TimedEdge, TimedGraph, TimedVertex
+
+
+def build_two_pe_loop():
+    """x (PE0) -> y (PE1) -> x with a unit-delay return edge."""
+    graph = TimedGraph("loop")
+    graph.add_vertex(TimedVertex("x", cycles=10, pe=0))
+    graph.add_vertex(TimedVertex("y", cycles=20, pe=1))
+    graph.add_edge(TimedEdge("x", "y", delay=0, kind=EdgeKind.IPC))
+    graph.add_edge(TimedEdge("y", "x", delay=1, kind=EdgeKind.SYNC))
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_vertex_rejected(self):
+        graph = TimedGraph()
+        graph.add_vertex(TimedVertex("x", 1, 0))
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add_vertex(TimedVertex("x", 2, 0))
+
+    def test_edge_needs_known_endpoints(self):
+        graph = TimedGraph()
+        graph.add_vertex(TimedVertex("x", 1, 0))
+        with pytest.raises(ValueError, match="not a task"):
+            graph.add_edge(TimedEdge("x", "ghost", delay=0))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            TimedEdge("a", "b", delay=-1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            TimedEdge("a", "b", delay=0, kind="quantum")
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            TimedVertex("x", cycles=-1, pe=0)
+
+    def test_remove_edge(self):
+        graph = build_two_pe_loop()
+        edge = graph.out_edges("y")[0]
+        graph.remove_edge(edge)
+        assert not graph.out_edges("y")
+        with pytest.raises(ValueError, match="not in graph"):
+            graph.remove_edge(edge)
+
+
+class TestQueries:
+    def test_sync_edges_cross_pe_only(self):
+        graph = build_two_pe_loop()
+        graph.add_vertex(TimedVertex("z", 5, 0))
+        graph.add_edge(TimedEdge("x", "z", delay=0, kind=EdgeKind.INTRA))
+        syncs = graph.synchronization_edges()
+        assert {(e.src, e.snk) for e in syncs} == {("x", "y"), ("y", "x")}
+
+    def test_tasks_on_and_pes(self):
+        graph = build_two_pe_loop()
+        assert [v.name for v in graph.tasks_on(1)] == ["y"]
+        assert graph.pes == [0, 1]
+
+    def test_copy_independent(self):
+        graph = build_two_pe_loop()
+        clone = graph.copy()
+        clone.remove_edge(clone.edges[0])
+        assert len(graph.edges) == 2
+        assert len(clone.edges) == 1
+
+    def test_to_dot_renders_pe_clusters(self):
+        dot = build_two_pe_loop().to_dot()
+        assert "cluster_pe0" in dot
+        assert '"x" -> "y"' in dot
+
+
+class TestMinDelayPaths:
+    def test_direct_and_roundtrip(self):
+        graph = build_two_pe_loop()
+        rho = graph.min_delay_paths()
+        assert rho["x"]["y"] == 0
+        assert rho["y"]["x"] == 1
+        assert rho["x"]["x"] == 0  # empty path by convention
+
+    def test_missing_path_absent(self):
+        graph = TimedGraph()
+        graph.add_vertex(TimedVertex("a", 1, 0))
+        graph.add_vertex(TimedVertex("b", 1, 1))
+        graph.add_edge(TimedEdge("a", "b", delay=2))
+        rho = graph.min_delay_paths()
+        assert rho["a"]["b"] == 2
+        assert "a" not in rho["b"]
+
+    def test_parallel_edges_take_minimum(self):
+        graph = TimedGraph()
+        graph.add_vertex(TimedVertex("a", 1, 0))
+        graph.add_vertex(TimedVertex("b", 1, 1))
+        graph.add_edge(TimedEdge("a", "b", delay=5))
+        graph.add_edge(TimedEdge("a", "b", delay=2))
+        assert graph.min_delay_paths()["a"]["b"] == 2
+
+    def test_multi_hop_cheaper_than_direct(self):
+        graph = TimedGraph()
+        for name, pe in (("a", 0), ("m", 1), ("b", 2)):
+            graph.add_vertex(TimedVertex(name, 1, pe))
+        graph.add_edge(TimedEdge("a", "b", delay=9))
+        graph.add_edge(TimedEdge("a", "m", delay=1))
+        graph.add_edge(TimedEdge("m", "b", delay=1))
+        assert graph.min_delay_paths()["a"]["b"] == 2
+
+
+class TestZeroDelayCycle:
+    def test_detected(self):
+        graph = TimedGraph()
+        graph.add_vertex(TimedVertex("a", 1, 0))
+        graph.add_vertex(TimedVertex("b", 1, 1))
+        graph.add_edge(TimedEdge("a", "b", delay=0))
+        graph.add_edge(TimedEdge("b", "a", delay=0))
+        assert graph.has_zero_delay_cycle()
+
+    def test_delay_breaks_cycle(self):
+        graph = build_two_pe_loop()
+        assert not graph.has_zero_delay_cycle()

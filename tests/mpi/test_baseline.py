@@ -1,0 +1,109 @@
+"""Unit/integration tests for the MPI-like baseline layer."""
+
+import pytest
+
+from repro.dataflow import DataflowGraph
+from repro.mapping import Partition
+from repro.mpi import MpiConfig, MpiSystem, mpi_engine_cost
+from repro.spi import SpiSystem
+
+
+def pipeline(payload_rate=1, token_bytes=4, cycles=(10, 20, 5)):
+    graph = DataflowGraph("pipe")
+    a = graph.actor("A", cycles=cycles[0])
+    b = graph.actor("B", cycles=cycles[1])
+    c = graph.actor("C", cycles=cycles[2])
+    a.add_output("o", rate=payload_rate, token_bytes=token_bytes)
+    b.add_input("i", rate=payload_rate, token_bytes=token_bytes)
+    b.add_output("o", rate=payload_rate, token_bytes=token_bytes)
+    c.add_input("i", rate=payload_rate, token_bytes=token_bytes)
+    graph.connect((a, "o"), (b, "i"))
+    graph.connect((b, "o"), (c, "i"))
+    partition = Partition.manual(graph, {"A": 0, "B": 1, "C": 0})
+    return graph, partition
+
+
+class TestCompile:
+    def test_small_messages_go_eager(self):
+        graph, partition = pipeline(payload_rate=1)
+        system = MpiSystem.compile(graph, partition)
+        assert all(not rv for rv in system.channel_modes.values())
+
+    def test_large_messages_go_rendezvous(self):
+        graph, partition = pipeline(payload_rate=200)
+        system = MpiSystem.compile(graph, partition)
+        assert all(system.channel_modes.values())
+
+    def test_threshold_configurable(self):
+        graph, partition = pipeline(payload_rate=10)  # 40 bytes
+        system = MpiSystem.compile(
+            graph, partition, MpiConfig(eager_threshold_bytes=16)
+        )
+        assert all(system.channel_modes.values())
+
+
+class TestRun:
+    def test_functional_completion(self):
+        graph, partition = pipeline()
+        result = MpiSystem.compile(graph, partition).run(iterations=10)
+        assert result.data_messages == 20
+        assert result.ack_messages == 0  # eager: no control messages
+
+    def test_rendezvous_control_traffic(self):
+        graph, partition = pipeline(payload_rate=200)
+        result = MpiSystem.compile(graph, partition).run(iterations=5)
+        # each message costs an RTS and a CTS
+        assert result.data_messages == 10
+        assert result.ack_messages == 20
+
+    def test_envelope_overhead_counted(self):
+        graph, partition = pipeline()
+        config = MpiConfig()
+        result = MpiSystem.compile(graph, partition, config).run(iterations=4)
+        assert result.header_bytes == 8 * config.envelope_bytes
+
+    def test_mpi_slower_than_spi_small_messages(self):
+        """The headline claim: SPI's specialisation beats the generic
+        layer on the same application and mapping."""
+        graph, partition = pipeline()
+        mpi = MpiSystem.compile(graph, partition).run(iterations=30)
+        graph2, partition2 = pipeline()
+        spi = SpiSystem.compile(graph2, partition2).run(iterations=30)
+        assert spi.execution_time_us < mpi.execution_time_us
+
+    def test_mpi_slower_than_spi_large_messages(self):
+        graph, partition = pipeline(payload_rate=300)
+        mpi = MpiSystem.compile(graph, partition).run(iterations=10)
+        graph2, partition2 = pipeline(payload_rate=300)
+        spi = SpiSystem.compile(graph2, partition2).run(iterations=10)
+        assert spi.execution_time_us < mpi.execution_time_us
+
+    def test_overhead_bytes_exceed_spi(self):
+        graph, partition = pipeline()
+        mpi = MpiSystem.compile(graph, partition).run(iterations=10)
+        graph2, partition2 = pipeline()
+        spi = SpiSystem.compile(graph2, partition2).run(iterations=10)
+        assert mpi.overhead_bytes > spi.overhead_bytes
+
+    def test_iterations_validated(self):
+        graph, partition = pipeline()
+        system = MpiSystem.compile(graph, partition)
+        with pytest.raises(Exception):
+            system.run(iterations=0)
+
+
+class TestResources:
+    def test_engine_per_communicating_pe(self):
+        graph, partition = pipeline()
+        system = MpiSystem.compile(graph, partition)
+        engines = system.library_resources()
+        assert engines == mpi_engine_cost().scale(2)
+
+    def test_mpi_engine_larger_than_spi_channel(self):
+        from repro.spi.resources import channel_cost
+
+        engine = mpi_engine_cost()
+        spi_channel = channel_cost(dynamic=True, buffer_bytes=256,
+                                   uses_acks=True)
+        assert engine.slices > spi_channel.slices
+        assert engine.lut4 > spi_channel.lut4

@@ -1,0 +1,35 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.platform import ClockDomain, DEFAULT_CLOCK
+
+
+class TestClockDomain:
+    def test_default_is_100mhz(self):
+        assert DEFAULT_CLOCK.frequency_mhz == 100.0
+        assert DEFAULT_CLOCK.period_us == pytest.approx(0.01)
+
+    def test_cycles_to_us(self):
+        clock = ClockDomain(100.0)
+        assert clock.cycles_to_us(100) == pytest.approx(1.0)
+        assert clock.cycles_to_us(250) == pytest.approx(2.5)
+
+    def test_us_to_cycles_ceils(self):
+        clock = ClockDomain(100.0)
+        assert clock.us_to_cycles(1.0) == 100
+        assert clock.us_to_cycles(1.001) == 101
+
+    def test_roundtrip(self):
+        clock = ClockDomain(250.0)
+        assert clock.us_to_cycles(clock.cycles_to_us(1234)) == 1234
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain(0)
+        with pytest.raises(ValueError):
+            ClockDomain(-5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CLOCK.frequency_mhz = 500

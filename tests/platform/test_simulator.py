@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event kernel and PE sequencers."""
+
+import pytest
+
+from repro.platform import (
+    PESequencer,
+    ProcessingElement,
+    SimulationDeadlock,
+    Simulator,
+)
+
+
+class StubTask:
+    """Configurable task: guard flag, fixed duration, completion log."""
+
+    def __init__(self, name, duration=5, gate=None):
+        self.name = name
+        self.duration = duration
+        self.gate = gate  # None = always ready, else a mutable [bool]
+        self.finishes = []
+
+    def ready(self, now):
+        return True if self.gate is None else self.gate[0]
+
+    def start(self, now):
+        return self.duration
+
+    def finish(self, now):
+        self.finishes.append(now)
+
+
+class AsyncTask:
+    """Event-completed task: finishes when an external event fires."""
+
+    def __init__(self, name, sim, complete_at):
+        self.name = name
+        self.sim = sim
+        self.complete_at = complete_at
+        self.complete_async = None
+        self.finishes = []
+
+    def ready(self, now):
+        return True
+
+    def start(self, now):
+        self.sim.at(self.complete_at, lambda: self.complete_async())
+        return None
+
+    def finish(self, now):
+        self.finishes.append(now)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(10, lambda: log.append("b"))
+        sim.at(5, lambda: log.append("a"))
+        sim.at(10, lambda: log.append("c"))
+        final = sim.run()
+        assert log == ["a", "b", "c"]
+        assert final == 10
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(5, lambda: sim.at(3, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            sim.run()
+
+    def test_max_cycles_guard(self):
+        sim = Simulator()
+        def reschedule():
+            sim.after(10, reschedule)
+        sim.at(0, reschedule)
+        with pytest.raises(RuntimeError, match="max_cycles"):
+            sim.run(max_cycles=100)
+
+
+class TestPESequencer:
+    def test_serial_execution_on_one_pe(self):
+        sim = Simulator()
+        pe = ProcessingElement(0)
+        tasks = [StubTask("t1", 5), StubTask("t2", 7)]
+        seq = PESequencer(sim, pe, tasks, iterations=2)
+        seq.begin()
+        sim.run()
+        assert tasks[0].finishes == [5, 17]
+        assert tasks[1].finishes == [12, 24]
+        assert seq.done
+        assert seq.finish_times == [12, 24]
+        assert pe.busy_cycles == 24
+        assert pe.firings == 4
+
+    def test_blocked_task_deadlocks_alone(self):
+        sim = Simulator()
+        pe = ProcessingElement(0)
+        gate = [False]
+        seq = PESequencer(sim, pe, [StubTask("t", gate=gate)], iterations=1)
+        seq.begin()
+        with pytest.raises(SimulationDeadlock, match="blocked on task"):
+            sim.run()
+
+    def test_notify_unblocks(self):
+        sim = Simulator()
+        pe = ProcessingElement(0)
+        gate = [False]
+        blocked = StubTask("blocked", duration=3, gate=gate)
+        seq = PESequencer(sim, pe, [blocked], iterations=1)
+        seq.begin()
+
+        def open_gate():
+            gate[0] = True
+            sim.notify()
+
+        sim.at(20, open_gate)
+        sim.run()
+        assert blocked.finishes == [23]
+        assert pe.blocked_events >= 1
+
+    def test_two_pes_run_concurrently(self):
+        sim = Simulator()
+        pe0, pe1 = ProcessingElement(0), ProcessingElement(1)
+        t0, t1 = StubTask("t0", 10), StubTask("t1", 10)
+        seq0 = PESequencer(sim, pe0, [t0], iterations=1)
+        seq1 = PESequencer(sim, pe1, [t1], iterations=1)
+        seq0.begin()
+        seq1.begin()
+        final = sim.run()
+        assert final == 10  # parallel, not 20
+
+    def test_async_completion(self):
+        sim = Simulator()
+        pe = ProcessingElement(0)
+        task = AsyncTask("rendezvous", sim, complete_at=42)
+        seq = PESequencer(sim, pe, [task], iterations=1)
+        seq.begin()
+        sim.run()
+        assert task.finishes == [42]
+        assert pe.busy_cycles == 42  # blocked the PE the whole time
+
+    def test_iterations_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PESequencer(sim, ProcessingElement(0), [], iterations=0)
+
+    def test_utilization(self):
+        pe = ProcessingElement(3)
+        pe.record_execution(30)
+        assert pe.utilization(60) == pytest.approx(0.5)
+        assert pe.utilization(0) == 0.0
+        assert pe.name == "PE3"

@@ -1,0 +1,50 @@
+"""Unit tests for SPI module resource costs."""
+
+import pytest
+
+from repro.spi.resources import (
+    channel_cost,
+    init_module_cost,
+    recv_module_cost,
+    send_module_cost,
+)
+
+
+class TestModuleCosts:
+    def test_spi_uses_no_dsp48(self):
+        """Structural invariant matching both paper tables: the SPI
+        library's DSP48 column is zero."""
+        assert init_module_cost().dsp48 == 0
+        assert send_module_cost(dynamic=True, uses_acks=True).dsp48 == 0
+        assert recv_module_cost(dynamic=True, buffer_bytes=8192).dsp48 == 0
+
+    def test_dynamic_costs_more_than_static(self):
+        static = send_module_cost(dynamic=False)
+        dynamic = send_module_cost(dynamic=True)
+        assert dynamic.slice_ffs > static.slice_ffs
+        assert dynamic.lut4 > static.lut4
+
+    def test_acks_cost_extra(self):
+        plain = send_module_cost(dynamic=False, uses_acks=False)
+        acked = send_module_cost(dynamic=False, uses_acks=True)
+        assert acked.slice_ffs > plain.slice_ffs
+
+    def test_receive_buffers_always_bram(self):
+        """The dual-ported receive buffer maps to BRAM even when small
+        (this is the Table-1 BRAM asymmetry), and scales with depth."""
+        small = recv_module_cost(dynamic=False, buffer_bytes=64)
+        large = recv_module_cost(dynamic=False, buffer_bytes=16384)
+        assert small.bram == 1
+        assert large.bram == 8
+
+    def test_channel_cost_is_send_plus_recv(self):
+        total = channel_cost(dynamic=True, buffer_bytes=1024, uses_acks=True)
+        parts = send_module_cost(True, True) + recv_module_cost(
+            True, 1024, True
+        )
+        assert total == parts
+
+    def test_init_is_tiny(self):
+        init = init_module_cost()
+        assert init.slices < 50
+        assert init.bram == 0

@@ -1,0 +1,72 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.clock_mhz == 100.0
+        assert args.iterations == 5
+
+
+class TestValidation:
+    def test_bad_clock(self, capsys):
+        assert main(["fig6", "--clock-mhz", "0"]) == 2
+        assert "clock-mhz" in capsys.readouterr().err
+
+    def test_bad_iterations(self, capsys):
+        assert main(["fig6", "--iterations", "0"]) == 2
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "SPI library" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "DSP48" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--iterations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "n=1" in out and "n=2" in out
+
+    def test_resync(self, capsys):
+        assert main(["resync"]) == 0
+        out = capsys.readouterr().out
+        assert "fig. 3" in out and "fig. 5" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--iterations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "PE0" in out
+        assert "MCM bound" in out
+
+    def test_fig6_custom_clock(self, capsys):
+        assert main(["fig6", "--iterations", "4", "--clock-mhz", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "200 MHz" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "SPI system" in out
+        assert "self-timed schedule" in out
+        assert "SPI_dynamic" in out  # the LPC channels

@@ -9,14 +9,16 @@ redundant.  Three configurations over the 2-PE LPC error system:
 * forced UBS with resynchronization (acks optimised away).
 """
 
+import time
+
 import pytest
 
-from conftest import emit, save_result
+from conftest import QUICK, emit, save_bench_json, save_result
 from repro.analysis import render_table
 from repro.apps.lpc import build_parallel_error_graph
 from repro.spi import Protocol, SpiConfig, SpiSystem
 
-ITERATIONS = 6
+ITERATIONS = 3 if QUICK else 6
 
 
 def run_variant(speech_frames_factory, policy, resync):
@@ -63,6 +65,28 @@ def test_bbs_vs_ubs_report(variants):
     )
     emit("Ablation: BBS vs UBS", text)
     save_result("ablation_bbs_vs_ubs.txt", text)
+
+
+def test_bbs_vs_ubs_bench_export(speech_frames_factory):
+    """Emit BENCH_ablation_bbs_vs_ubs.json: the auto-BBS configuration."""
+    frames = speech_frames_factory(256)
+    system = build_parallel_error_graph(frames, order=8, n_units=2)
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    start = time.perf_counter()
+    result = compiled.run(iterations=ITERATIONS, metrics=True)
+    wall = time.perf_counter() - start
+    path = save_bench_json(
+        "ablation_bbs_vs_ubs",
+        makespan_cycles=result.cycles,
+        iteration_period_cycles=result.iteration_period_cycles,
+        wall_seconds=wall,
+        extra={
+            "configuration": "auto (BBS)",
+            "channels": result.metrics["channels"],
+            "wire_byte_split": result.metrics["wire_byte_split"],
+        },
+    )
+    assert path.exists()
 
 
 def test_auto_selects_bbs(variants):

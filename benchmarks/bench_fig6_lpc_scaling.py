@@ -7,17 +7,19 @@ gain is sub-linear because the per-PE I/O interface transfers serialize
 on the shared interface processor.
 """
 
+import time
+
 import pytest
 
-from conftest import emit, save_result
+from conftest import QUICK, emit, save_bench_json, save_result
 from repro.analysis import Figure, speedups
 from repro.apps.lpc import build_parallel_error_graph
 from repro.spi import SpiSystem
 
-SAMPLE_SIZES = (128, 192, 256, 384, 512, 640)
+SAMPLE_SIZES = (128, 256) if QUICK else (128, 192, 256, 384, 512, 640)
 PE_COUNTS = (1, 2, 3, 4)
 ORDER = 8
-ITERATIONS = 5
+ITERATIONS = 3 if QUICK else 5
 CLOCK_MHZ = 100.0
 
 
@@ -64,6 +66,30 @@ def test_fig6_report(sweep):
         assert by_pe == sorted(by_pe, reverse=True)
         gains = speedups(by_pe)
         assert gains[-1] < 4.0
+
+
+def test_fig6_bench_export(speech_frames_factory):
+    """Emit BENCH_fig6_lpc_scaling.json: the 4-PE largest-size point,
+    fully instrumented (channel stats ride along for the CI artifact)."""
+    frames = speech_frames_factory(SAMPLE_SIZES[-1])
+    system = build_parallel_error_graph(frames, order=ORDER, n_units=4)
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    start = time.perf_counter()
+    result = compiled.run(iterations=ITERATIONS, metrics=True)
+    wall = time.perf_counter() - start
+    path = save_bench_json(
+        "fig6_lpc_scaling",
+        makespan_cycles=result.cycles,
+        iteration_period_cycles=result.iteration_period_cycles,
+        wall_seconds=wall,
+        extra={
+            "sample_size": SAMPLE_SIZES[-1],
+            "n_units": 4,
+            "channels": result.metrics["channels"],
+            "wire_byte_split": result.metrics["wire_byte_split"],
+        },
+    )
+    assert path.exists()
 
 
 def test_fig6_speedup_grows_with_size(sweep):

@@ -6,16 +6,18 @@ and only 2 PEs fit the device.  Expected shape: time grows with N, the
 resampling exchange amortises).
 """
 
+import time
+
 import pytest
 
-from conftest import emit, save_result
+from conftest import QUICK, emit, save_bench_json, save_result
 from repro.analysis import Figure
 from repro.apps.particle_filter import build_particle_filter_graph
 from repro.spi import SpiSystem
 
-PARTICLE_COUNTS = (50, 100, 150, 200, 250, 300)
+PARTICLE_COUNTS = (50, 150, 300) if QUICK else (50, 100, 150, 200, 250, 300)
 PE_COUNTS = (1, 2)
-ITERATIONS = 6
+ITERATIONS = 4 if QUICK else 6
 CLOCK_MHZ = 100.0
 
 
@@ -60,6 +62,31 @@ def test_fig7_report(sweep):
         assert series == sorted(series)
     for particles in PARTICLE_COUNTS:
         assert sweep[(particles, 2)] < sweep[(particles, 1)]
+
+
+def test_fig7_bench_export(crack_problem):
+    """Emit BENCH_fig7_pf_scaling.json: the 2-PE largest-N point."""
+    model, _, observations = crack_problem
+    system = build_particle_filter_graph(
+        model, observations, n_particles=PARTICLE_COUNTS[-1], n_pes=2
+    )
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    start = time.perf_counter()
+    result = compiled.run(iterations=ITERATIONS, metrics=True)
+    wall = time.perf_counter() - start
+    path = save_bench_json(
+        "fig7_pf_scaling",
+        makespan_cycles=result.cycles,
+        iteration_period_cycles=result.iteration_period_cycles,
+        wall_seconds=wall,
+        extra={
+            "n_particles": PARTICLE_COUNTS[-1],
+            "n_pes": 2,
+            "channels": result.metrics["channels"],
+            "wire_byte_split": result.metrics["wire_byte_split"],
+        },
+    )
+    assert path.exists()
 
 
 def test_fig7_speedup_below_two_and_growing(sweep):

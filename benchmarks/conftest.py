@@ -17,6 +17,10 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: reduced sweeps for the CI benchmark-smoke job (same shapes, fewer
+#: points); set REPRO_BENCH_QUICK=1 to enable
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
 
 def save_result(name: str, text: str) -> Path:
     """Persist a rendered table/series under benchmarks/results/."""
@@ -24,6 +28,31 @@ def save_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     return path
+
+
+def save_bench_json(
+    name: str,
+    makespan_cycles: int,
+    iteration_period_cycles: float,
+    wall_seconds: float,
+    extra=None,
+) -> Path:
+    """Emit ``BENCH_<name>.json`` under benchmarks/results/.
+
+    The perf-trajectory document the CI benchmark-smoke job uploads as
+    an artifact; see :mod:`repro.observability.bench` for the schema.
+    """
+    from repro.observability import bench_document, write_bench_json
+
+    document = bench_document(
+        name,
+        makespan_cycles=makespan_cycles,
+        iteration_period_cycles=iteration_period_cycles,
+        wall_seconds=wall_seconds,
+        quick=QUICK,
+        extra=extra,
+    )
+    return write_bench_json(RESULTS_DIR, document)
 
 
 def emit(title: str, text: str) -> None:

@@ -10,10 +10,16 @@ from repro.analysis.metrics import (
     speedups,
     steady_state_us,
 )
-from repro.analysis.report import Figure, Series, render_figure, render_table
+from repro.analysis.report import (
+    Figure,
+    Series,
+    render_figure,
+    render_metrics_summary,
+    render_table,
+)
 
 __all__ = [
     "SweepPoint", "first_output_latency", "pipeline_fill_latency", "amdahl_bound", "crossover_x", "parallel_efficiency",
     "speedups", "steady_state_us",
-    "Figure", "Series", "render_figure", "render_table",
+    "Figure", "Series", "render_figure", "render_metrics_summary", "render_table",
 ]

@@ -9,9 +9,15 @@ the shared ASCII/CSV rendering so every bench target reports uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
-__all__ = ["Series", "Figure", "render_table", "render_figure"]
+__all__ = [
+    "Series",
+    "Figure",
+    "render_table",
+    "render_figure",
+    "render_metrics_summary",
+]
 
 Number = Union[int, float]
 
@@ -119,3 +125,92 @@ def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
 def render_figure(figure: Figure) -> str:
     """Convenience alias for ``figure.render()``."""
     return figure.render()
+
+
+def render_metrics_summary(document: Dict) -> str:
+    """Human summary of one run's metrics JSON document.
+
+    Takes the document produced by :func:`repro.observability.exporters
+    .build_metrics_document` (``RunResult.metrics``) and renders the
+    per-PE and per-channel views as fixed-width tables, followed by the
+    transport and simulator-kernel counters — the quick answer to "which
+    channel stalled, and was it data or synchronization traffic".
+    """
+    run = document["run"]
+    lines: List[str] = [
+        f"run: {run['cycles']} cycles, {run['iterations']} iteration(s), "
+        f"period {run['iteration_period_cycles']:.1f} cycles "
+        f"(MCM bound {run['mcm_bound_cycles']:.1f})",
+        "",
+        "processing elements:",
+    ]
+    pe_rows = []
+    for pe in document["pes"]:
+        blockers = pe["blocked_by_task"]
+        top = (
+            max(blockers, key=blockers.get) if blockers else "-"
+        )
+        pe_rows.append(
+            [
+                pe["name"],
+                str(pe["busy_cycles"]),
+                str(pe["blocked_cycles"]),
+                f"{pe['utilization'] * 100:.1f}%",
+                str(pe["firings"]),
+                top,
+            ]
+        )
+    lines.append(
+        render_table(
+            ["PE", "busy", "blocked", "util", "firings", "top blocker"],
+            pe_rows,
+        )
+    )
+    if document["channels"]:
+        lines += ["", "channels:"]
+        channel_rows = []
+        for channel in document["channels"]:
+            channel_rows.append(
+                [
+                    channel["name"],
+                    channel["protocol"],
+                    f"PE{channel['src_pe']}->PE{channel['dst_pe']}",
+                    f"{channel['data_messages']}/{channel['ack_messages']}",
+                    (
+                        f"{channel['occupancy_high_water_messages']}"
+                        f"/{channel['bound_messages']}"
+                    ),
+                    str(channel["full_stall_cycles"]),
+                    str(channel["empty_stall_cycles"]),
+                ]
+            )
+        lines.append(
+            render_table(
+                [
+                    "channel",
+                    "protocol",
+                    "route",
+                    "msgs d/a",
+                    "occ hw/B(e)",
+                    "full stall",
+                    "empty stall",
+                ],
+                channel_rows,
+            )
+        )
+    transport = document["transport"]
+    split = document["wire_byte_split"]
+    split_text = (
+        ", ".join(f"{kind}={nbytes}B" for kind, nbytes in sorted(split.items()))
+        or "none"
+    )
+    sim = document["simulator"]
+    lines += [
+        "",
+        f"transport: {transport['type']}, {transport['messages']} msg, "
+        f"{transport['bytes']}B",
+        f"wire bytes by kind: {split_text}",
+        f"simulator: {sim['events_processed']} events, {sim['parks']} parks, "
+        f"{sim['retry_rounds']} retry rounds",
+    ]
+    return "\n".join(lines)

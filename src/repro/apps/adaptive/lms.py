@@ -14,7 +14,7 @@ LMS adaptive noise canceller:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -10,9 +10,8 @@ Generator FFT core realises, which is also what the cycle model
 
 from __future__ import annotations
 
-import cmath
 import math
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -12,7 +12,7 @@ choice costs; both paths produce the same predictor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

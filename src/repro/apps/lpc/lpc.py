@@ -14,7 +14,7 @@ Toeplitz autocorrelation matrix of the frame (via the LU actor —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -16,7 +16,6 @@ Two systems, matching the paper's §5.2:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 

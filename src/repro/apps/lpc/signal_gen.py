@@ -10,7 +10,7 @@ as with speech (substitution documented in DESIGN.md §2).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ is the golden model the integration tests compare against, and the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

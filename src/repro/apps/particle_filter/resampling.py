@@ -18,7 +18,7 @@ deterministic given their RNG, and :func:`allocate_targets` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

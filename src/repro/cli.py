@@ -9,9 +9,16 @@ system, without writing any code::
     python -m repro.cli table2          # PF 2-PE resource table
     python -m repro.cli resync          # fig. 3/5 ack-removal summary
     python -m repro.cli trace           # Gantt chart of a pipelined chain
+    python -m repro.cli run --app lpc --trace-out trace.json \
+        --metrics-out metrics.json      # instrumented run + exports
 
-Options common to the figure commands: ``--clock-mhz`` (default 100)
-and ``--iterations``.  The full parameter sweeps (more points, CSV
+``run`` executes one example application fully instrumented and writes
+the observability artefacts: a Chrome/Perfetto-loadable trace JSON
+(``--trace-out``, open at https://ui.perfetto.dev) and the validated
+metrics JSON (``--metrics-out``), printing the human summary either way.
+
+Options common to all commands: ``--clock-mhz`` (default 100) and
+``--iterations``.  The full parameter sweeps (more points, CSV
 artefacts) live in ``benchmarks/``; the CLI favours fast feedback.
 """
 
@@ -200,6 +207,74 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_app_system(app: str, pes: int, iterations: int):
+    """Build one of the example applications for ``repro run``."""
+    if app == "lpc":
+        from repro.apps.lpc import build_parallel_error_graph, frame_stream
+
+        frames = frame_stream(total_samples=2 * 256, frame_size=256)
+        return build_parallel_error_graph(frames, order=8, n_units=pes)
+    if app == "pf":
+        from repro.apps.particle_filter import (
+            CrackGrowthModel,
+            build_particle_filter_graph,
+            simulate_crack_history,
+        )
+
+        model = CrackGrowthModel()
+        _, observations = simulate_crack_history(
+            model, steps=max(4, iterations)
+        )
+        return build_particle_filter_graph(
+            model, observations, n_particles=100, n_pes=min(pes, 2)
+        )
+    if app == "chain":
+        from repro.dataflow import DataflowGraph
+        from repro.mapping import Partition, auto_pipeline
+
+        graph = DataflowGraph("chain")
+        stages = [("load", 400), ("transform", 500), ("store", 300)]
+        actors = [graph.actor(name, cycles=c) for name, c in stages]
+        for left, right in zip(actors, actors[1:]):
+            out = left.add_output(f"to_{right.name}")
+            inp = right.add_input(f"from_{left.name}")
+            graph.connect(out, inp)
+        result = auto_pipeline(graph, stages=min(pes, len(stages)))
+
+        class _System:
+            pass
+
+        system = _System()
+        system.graph = result.graph
+        system.partition = Partition.manual(result.graph, result.stages)
+        return system
+    raise ValueError(f"unknown app {app!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis import render_metrics_summary
+    from repro.observability import chrome_trace, write_json
+
+    system = _build_app_system(args.app, args.pes, args.iterations)
+    compiled = SpiSystem.compile(
+        system.graph, system.partition, SpiConfig(transport=args.transport)
+    )
+    run = compiled.run(iterations=args.iterations, trace=True, metrics=True)
+    print(render_metrics_summary(run.metrics))
+    if args.trace_out:
+        path = write_json(
+            args.trace_out,
+            chrome_trace(
+                run.trace, run.message_log, clock_mhz=args.clock_mhz
+            ),
+        )
+        print(f"\nwrote Chrome trace (load in Perfetto): {path}")
+    if args.metrics_out:
+        path = write_json(args.metrics_out, run.metrics)
+        print(f"wrote metrics JSON: {path}")
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.apps.lpc import build_parallel_error_graph, frame_stream
     from repro.apps.particle_filter import (
@@ -236,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("resync", _cmd_resync, "resynchronization savings (figs. 3/5)"),
         ("trace", _cmd_trace, "Gantt trace of a pipelined chain"),
         ("describe", _cmd_describe, "compilation reports of both apps"),
+        ("run", _cmd_run, "instrumented run with trace/metrics export"),
     ):
         command = sub.add_parser(name, help=description)
         command.add_argument(
@@ -247,6 +323,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="graph iterations to simulate (default 5)",
         )
         command.set_defaults(handler=handler)
+        if name == "run":
+            command.add_argument(
+                "--app", choices=("lpc", "pf", "chain"), default="lpc",
+                help="example application to execute (default lpc)",
+            )
+            command.add_argument(
+                "--pes", type=int, default=3,
+                help="parallel units / PEs to map onto (default 3)",
+            )
+            command.add_argument(
+                "--transport",
+                choices=("p2p", "shared_bus", "ordered_bus"),
+                default="p2p",
+                help="data transport model (default p2p)",
+            )
+            command.add_argument(
+                "--trace-out", metavar="PATH", default=None,
+                help="write a Chrome/Perfetto trace JSON here",
+            )
+            command.add_argument(
+                "--metrics-out", metavar="PATH", default=None,
+                help="write the metrics JSON document here",
+            )
     return parser
 
 
@@ -257,6 +356,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.iterations < 1:
         print("error: --iterations must be >= 1", file=sys.stderr)
+        return 2
+    if getattr(args, "pes", 1) < 1:
+        print("error: --pes must be >= 1", file=sys.stderr)
         return 2
     return args.handler(args)
 

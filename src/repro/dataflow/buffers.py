@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.dataflow.graph import DataflowGraph, Edge
+from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.sdf import SdfError, build_pass, repetitions_vector
 
 __all__ = ["sdf_buffer_bounds", "simulate_edge_occupancy"]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.dataflow.graph import Actor, DataflowGraph, GraphError
+from repro.dataflow.graph import DataflowGraph, GraphError
 from repro.dataflow.sdf import repetitions_vector
 
 __all__ = ["hsdf_expand", "invocation_name"]

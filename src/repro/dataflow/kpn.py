@@ -24,7 +24,7 @@ excludes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dataflow.dynamic import DynamicRate

@@ -17,7 +17,7 @@ and single-processor makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.dataflow.graph import Actor, DataflowGraph, GraphError
 from repro.dataflow.sdf import repetitions_vector

@@ -22,7 +22,7 @@ import math
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
-from repro.dataflow.graph import Actor, DataflowGraph, Edge, GraphError
+from repro.dataflow.graph import Actor, DataflowGraph, GraphError
 
 __all__ = [
     "SdfError",

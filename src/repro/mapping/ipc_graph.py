@@ -19,9 +19,8 @@ data.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
-from repro.dataflow.graph import DataflowGraph, GraphError
+from repro.dataflow.graph import GraphError
 from repro.mapping.selftimed import SelfTimedSchedule
 from repro.mapping.timed_graph import EdgeKind, TimedEdge, TimedGraph, TimedVertex
 

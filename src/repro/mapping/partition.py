@@ -16,16 +16,7 @@ replicas of application 2).  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.dataflow.graph import Actor, DataflowGraph, Edge, GraphError
 from repro.dataflow.sdf import repetitions_vector

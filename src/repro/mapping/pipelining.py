@@ -26,7 +26,7 @@ Initial tokens for the inserted delays default to ``None`` placeholders
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.dataflow.graph import DataflowGraph, Edge, GraphError
 from repro.dataflow.sdf import repetitions_vector

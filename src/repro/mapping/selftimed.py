@@ -11,9 +11,9 @@ so the orders are always admissible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.dataflow.graph import Actor, DataflowGraph, GraphError
+from repro.dataflow.graph import DataflowGraph, GraphError
 from repro.dataflow.hsdf import hsdf_expand, invocation_name
 from repro.dataflow.sdf import build_pass, repetitions_vector
 from repro.mapping.partition import Partition

@@ -20,8 +20,8 @@ Every edge, whatever its kind, imposes the paper's eq. 3 constraint:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["TimedVertex", "TimedEdge", "TimedGraph", "EdgeKind"]
 

@@ -1,0 +1,68 @@
+"""Per-benchmark perf artefacts: the ``BENCH_<name>.json`` feed.
+
+Every benchmark can distil its run into one small JSON document —
+makespan, simulated cycles per wall-clock second, channel traffic — that
+the CI benchmark-smoke job uploads as an artifact.  Stacked over
+commits, these files are the perf trajectory the growth loop gates on.
+
+Schema (``repro.bench/1``)::
+
+    {
+      "schema": "repro.bench/1",
+      "name": "<benchmark name>",
+      "quick": bool,                  # reduced CI sweep?
+      "makespan_cycles": int,
+      "iteration_period_cycles": float,
+      "wall_seconds": float,          # wall time of the measured unit
+      "cycles_per_wall_second": float,
+      "extra": {...}                  # benchmark-specific numbers
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["BENCH_SCHEMA", "bench_document", "write_bench_json"]
+
+#: schema identifier stamped into every BENCH_*.json
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def bench_document(
+    name: str,
+    makespan_cycles: int,
+    iteration_period_cycles: float,
+    wall_seconds: float,
+    quick: bool = False,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build one benchmark's perf document."""
+    if wall_seconds < 0:
+        raise ValueError("wall_seconds must be >= 0")
+    throughput = makespan_cycles / wall_seconds if wall_seconds > 0 else 0.0
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "quick": quick,
+        "makespan_cycles": makespan_cycles,
+        "iteration_period_cycles": iteration_period_cycles,
+        "wall_seconds": wall_seconds,
+        "cycles_per_wall_second": throughput,
+        "extra": dict(extra or {}),
+    }
+
+
+def write_bench_json(directory, document: Dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory`` and return the path."""
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"not a bench document (schema {document.get('schema')!r})"
+        )
+    target_dir = Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"BENCH_{document['name']}.json"
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path

@@ -29,8 +29,8 @@ Architecture rules used (Virtex-4 fabric):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable
 
 __all__ = [
     "ResourceVector",

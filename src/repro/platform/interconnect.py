@@ -14,7 +14,7 @@ fan-out in the paper's figure 3 a serialization point.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["LinkSpec", "Link", "Interconnect"]

@@ -9,7 +9,6 @@ soundness tests compare against the eq. 1/eq. 2 bounds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["BufferMemory", "BufferOverflowError", "BufferUnderflowError"]

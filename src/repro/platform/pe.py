@@ -10,7 +10,7 @@ holds its identity and statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict
 
 __all__ = ["ProcessingElement"]
 
@@ -24,6 +24,9 @@ class ProcessingElement:
     busy_cycles: int = 0
     firings: int = 0
     blocked_events: int = 0
+    blocked_cycles: int = 0
+    #: blocked cycles attributed to the task whose guard held the PE up
+    blocked_by_task: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -40,6 +43,13 @@ class ProcessingElement:
     def record_block(self) -> None:
         self.blocked_events += 1
 
+    def record_blocked_interval(self, task: str, cycles: int) -> None:
+        """Attribute a finished blocked interval to the guarding task."""
+        if cycles < 0:
+            raise ValueError("blocked cycles must be >= 0")
+        self.blocked_cycles += cycles
+        self.blocked_by_task[task] = self.blocked_by_task.get(task, 0) + cycles
+
     def utilization(self, horizon_cycles: int) -> float:
         """Busy fraction over ``horizon_cycles`` (0..1)."""
         if horizon_cycles <= 0:
@@ -50,3 +60,5 @@ class ProcessingElement:
         self.busy_cycles = 0
         self.firings = 0
         self.blocked_events = 0
+        self.blocked_cycles = 0
+        self.blocked_by_task = {}

@@ -23,8 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.platform.pe import ProcessingElement
 
@@ -65,6 +64,10 @@ class Simulator:
         self._seq = itertools.count()
         self._parked: List["PESequencer"] = []
         self._retry_scheduled = False
+        #: kernel counters (observability: exported into the metrics JSON)
+        self.events_processed = 0
+        self.parks = 0
+        self.retry_rounds = 0
 
     # -- events ---------------------------------------------------------------
 
@@ -87,6 +90,7 @@ class Simulator:
     def park(self, sequencer: "PESequencer") -> None:
         if sequencer not in self._parked:
             self._parked.append(sequencer)
+            self.parks += 1
 
     def notify(self) -> None:
         """State changed: re-evaluate parked sequencers at the current time."""
@@ -96,6 +100,7 @@ class Simulator:
 
         def retry() -> None:
             self._retry_scheduled = False
+            self.retry_rounds += 1
             parked, self._parked = self._parked, []
             for sequencer in parked:
                 sequencer.advance()
@@ -118,6 +123,7 @@ class Simulator:
                     f"(next event at {time})"
                 )
             self.now = time
+            self.events_processed += 1
             callback()
         blocked = [s for s in self._parked if not s.done]
         if blocked:
@@ -156,6 +162,8 @@ class PESequencer:
         self.done = not self.program
         self.finish_times: List[int] = []
         self._running = False
+        #: when the current task first failed its guard (None = not blocked)
+        self._blocked_since: Optional[int] = None
 
     def begin(self) -> None:
         """Arm the sequencer (schedule its first advance at t=0)."""
@@ -175,9 +183,18 @@ class PESequencer:
         task = self.program[self.position]
         now = self.sim.now
         if not task.ready(now):
+            if self._blocked_since is None:
+                self._blocked_since = now
             self.pe.record_block()
             self.sim.park(self)
             return
+        if self._blocked_since is not None:
+            # The blocked interval ends now: attribute it to the task
+            # whose guard held the PE up (observability).
+            self.pe.record_blocked_interval(
+                task.name, now - self._blocked_since
+            )
+            self._blocked_since = None
         started_at = now
         duration = task.start(now)
         self._running = True

@@ -9,10 +9,18 @@ not reach its MCM bound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["TraceEvent", "TraceRecorder"]
+__all__ = ["PEExclusivityError", "TraceEvent", "TraceRecorder"]
+
+
+class PEExclusivityError(RuntimeError):
+    """Two task intervals overlapped on one PE — a simulator bug.
+
+    A dedicated exception (not ``AssertionError``) so the check keeps
+    firing under ``python -O`` and callers can catch it precisely.
+    """
 
 
 @dataclass(frozen=True)
@@ -86,14 +94,15 @@ class TraceRecorder:
         return stats
 
     def validate_pe_exclusivity(self) -> None:
-        """Raise if two intervals overlap on one PE (a simulator bug)."""
+        """Raise :class:`PEExclusivityError` if two intervals overlap on
+        one PE (a simulator bug)."""
         for pe in {e.pe for e in self._events}:
             intervals = sorted(
                 ((e.start, e.end, e.task) for e in self.events_on(pe))
             )
             for (s1, e1, t1), (s2, e2, t2) in zip(intervals, intervals[1:]):
                 if s2 < e1:
-                    raise AssertionError(
+                    raise PEExclusivityError(
                         f"PE{pe}: {t1!r} [{s1},{e1}) overlaps {t2!r} "
                         f"[{s2},{e2})"
                     )
@@ -127,19 +136,26 @@ class TraceRecorder:
                 letters[task] = alphabet[len(letters) % len(alphabet)]
             return letters[task]
 
+        pe_indices = sorted({e.pe for e in self._events})
+        label_width = max(len(f"PE{pe}") for pe in pe_indices)
         rows = []
-        for pe in sorted({e.pe for e in self._events}):
+        for pe in pe_indices:
             cells = ["."] * width
             for event in self.events_on(pe):
                 if event.start >= horizon:
                     continue
-                first = int(event.start / scale)
+                first = min(int(event.start / scale), width - 1)
                 last = max(first, int(min(event.end, horizon) / scale) - 1)
                 for cell in range(first, min(last + 1, width)):
                     cells[cell] = letter_for(event.task)
-            rows.append(f"PE{pe} |" + "".join(cells) + "|")
+            rows.append(f"{f'PE{pe}'.ljust(label_width)} |" + "".join(cells) + "|")
         legend = ", ".join(
             f"{symbol}={task}" for task, symbol in letters.items()
         )
-        header = f"0{' ' * (width - len(str(horizon)) + 3)}{horizon} cycles"
+        # Align the time axis with the bars: "0" under the first cell,
+        # the horizon right-justified under the last (the old width math
+        # broke when the horizon label was wider than the chart).
+        end_label = f"{horizon} cycles"
+        pad = max(1, width - 1 - len(end_label))
+        header = " " * (label_width + 2) + "0" + " " * pad + end_label
         return "\n".join([header] + rows + [legend])

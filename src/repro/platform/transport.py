@@ -15,31 +15,97 @@ further investigation".  Two such adaptations are provided:
 
 All transports share one interface: ``send(channel_key, src_pe, dst_pe,
 nbytes, now, deliver)`` where ``deliver`` runs when the last word lands.
+
+Every transport is instrumented: besides the global ``messages`` /
+``bytes`` totals it keeps a per-channel :class:`ChannelTraffic` record —
+message/byte counts, **queueing delay** (cycles between the send request
+and the wire accepting the message) and **contention time** (the part of
+that wait caused by the medium being busy; for the ordered bus the
+remainder is time spent waiting for the compile-time slot).  An optional
+``observer`` (an :class:`~repro.observability.collector
+.ObservabilityHub`) additionally receives every message's full life
+record for trace arrows and the data-vs-sync byte split.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.platform.interconnect import Interconnect, LinkSpec
 from repro.platform.simulator import Simulator
 
 __all__ = [
+    "ChannelTraffic",
     "PointToPointTransport",
     "SharedBusTransport",
     "OrderedBusTransport",
 ]
 
 
-class PointToPointTransport:
-    """Dedicated unidirectional links per PE pair (the SPI default)."""
+@dataclass
+class ChannelTraffic:
+    """Per-channel transport statistics."""
 
-    def __init__(self, sim: Simulator, interconnect: Interconnect) -> None:
-        self.sim = sim
-        self.interconnect = interconnect
+    messages: int = 0
+    bytes: int = 0
+    queueing_cycles: int = 0
+    contention_cycles: int = 0
+
+
+class _TransportStats:
+    """Shared accounting mixin for every transport flavour."""
+
+    def _init_stats(self, observer=None) -> None:
         self.messages = 0
         self.bytes = 0
+        self.per_channel: Dict[Hashable, ChannelTraffic] = {}
+        self.observer = observer
+
+    def _record(
+        self,
+        channel_key: Hashable,
+        src_pe: int,
+        dst_pe: int,
+        nbytes: int,
+        requested: int,
+        started: int,
+        arrived: int,
+        contention: int,
+        kind: str,
+    ) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        traffic = self.per_channel.get(channel_key)
+        if traffic is None:
+            traffic = self.per_channel[channel_key] = ChannelTraffic()
+        traffic.messages += 1
+        traffic.bytes += nbytes
+        traffic.queueing_cycles += started - requested
+        traffic.contention_cycles += contention
+        if self.observer is not None:
+            self.observer.message(
+                channel=str(channel_key),
+                kind=kind,
+                src_pe=src_pe,
+                dst_pe=dst_pe,
+                nbytes=nbytes,
+                requested=requested,
+                started=started,
+                arrived=arrived,
+            )
+
+
+class PointToPointTransport(_TransportStats):
+    """Dedicated unidirectional links per PE pair (the SPI default)."""
+
+    def __init__(
+        self, sim: Simulator, interconnect: Interconnect, observer=None
+    ) -> None:
+        self.sim = sim
+        self.interconnect = interconnect
+        self._init_stats(observer)
 
     def send(
         self,
@@ -49,15 +115,25 @@ class PointToPointTransport:
         nbytes: int,
         now: int,
         deliver: Callable[[], None],
+        kind: str = "data",
     ) -> None:
         link = self.interconnect.link(src_pe, dst_pe)
-        _, arrival = link.reserve(now, nbytes)
-        self.messages += 1
-        self.bytes += nbytes
+        start, arrival = link.reserve(now, nbytes)
+        self._record(
+            channel_key,
+            src_pe,
+            dst_pe,
+            nbytes,
+            requested=now,
+            started=start,
+            arrived=arrival,
+            contention=start - now,
+            kind=kind,
+        )
         self.sim.at(arrival, deliver)
 
 
-class SharedBusTransport:
+class SharedBusTransport(_TransportStats):
     """One bus for everything, FCFS arbitration.
 
     Each transfer pays ``arbitration_cycles`` on top of the link cost
@@ -70,6 +146,7 @@ class SharedBusTransport:
         sim: Simulator,
         spec: Optional[LinkSpec] = None,
         arbitration_cycles: int = 2,
+        observer=None,
     ) -> None:
         if arbitration_cycles < 0:
             raise ValueError("arbitration_cycles must be >= 0")
@@ -77,8 +154,7 @@ class SharedBusTransport:
         self.spec = spec or LinkSpec()
         self.arbitration_cycles = arbitration_cycles
         self.busy_until = 0
-        self.messages = 0
-        self.bytes = 0
+        self._init_stats(observer)
 
     def send(
         self,
@@ -88,16 +164,27 @@ class SharedBusTransport:
         nbytes: int,
         now: int,
         deliver: Callable[[], None],
+        kind: str = "data",
     ) -> None:
+        contention = max(0, self.busy_until - now)
         start = max(now, self.busy_until) + self.arbitration_cycles
         arrival = start + self.spec.transfer_cycles(nbytes)
         self.busy_until = arrival
-        self.messages += 1
-        self.bytes += nbytes
+        self._record(
+            channel_key,
+            src_pe,
+            dst_pe,
+            nbytes,
+            requested=now,
+            started=start,
+            arrived=arrival,
+            contention=contention,
+            kind=kind,
+        )
         self.sim.at(arrival, deliver)
 
 
-class OrderedBusTransport:
+class OrderedBusTransport(_TransportStats):
     """Ordered-transaction bus: the grant sequence is fixed offline.
 
     ``order`` is the cyclic sequence of channel keys in which transfers
@@ -113,6 +200,7 @@ class OrderedBusTransport:
         sim: Simulator,
         order: Sequence[Hashable],
         spec: Optional[LinkSpec] = None,
+        observer=None,
     ) -> None:
         if not order:
             raise ValueError("transaction order must be non-empty")
@@ -120,10 +208,9 @@ class OrderedBusTransport:
         self.order = list(order)
         self.spec = spec or LinkSpec()
         self.busy_until = 0
-        self.messages = 0
-        self.bytes = 0
         self._cursor = 0
-        self._pending: Dict[Hashable, Deque[Tuple[int, Callable[[], None]]]] = {}
+        self._pending: Dict[Hashable, Deque[Tuple]] = {}
+        self._init_stats(observer)
 
     def send(
         self,
@@ -133,6 +220,7 @@ class OrderedBusTransport:
         nbytes: int,
         now: int,
         deliver: Callable[[], None],
+        kind: str = "data",
     ) -> None:
         if channel_key not in self.order:
             raise ValueError(
@@ -140,7 +228,7 @@ class OrderedBusTransport:
                 f"transaction order"
             )
         self._pending.setdefault(channel_key, deque()).append(
-            (nbytes, deliver)
+            (nbytes, deliver, now, src_pe, dst_pe, kind)
         )
         self._drain(now)
 
@@ -150,11 +238,21 @@ class OrderedBusTransport:
             queue = self._pending.get(key)
             if not queue:
                 return
-            nbytes, deliver = queue.popleft()
+            nbytes, deliver, requested, src_pe, dst_pe, kind = queue.popleft()
+            contention = max(0, self.busy_until - now)
             start = max(now, self.busy_until)  # no arbitration cost
             arrival = start + self.spec.transfer_cycles(nbytes)
             self.busy_until = arrival
-            self.messages += 1
-            self.bytes += nbytes
+            self._record(
+                key,
+                src_pe,
+                dst_pe,
+                nbytes,
+                requested=requested,
+                started=start,
+                arrived=arrival,
+                contention=contention,
+                kind=kind,
+            )
             self.sim.at(arrival, deliver)
             self._cursor = (self._cursor + 1) % len(self.order)

@@ -13,9 +13,9 @@ same-PE edges.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
-from repro.dataflow.graph import Actor, DataflowGraph, Edge
+from repro.dataflow.graph import Actor, Edge
 from repro.dataflow.vts import PackedToken
 from repro.platform.interconnect import Interconnect
 from repro.platform.simulator import Simulator
@@ -167,6 +167,7 @@ class SpiSendTask:
         sim: Simulator,
         interconnect: Interconnect,
         transport=None,
+        observer=None,
     ) -> None:
         self.actor = actor
         self.name = f"{actor.name}"
@@ -175,6 +176,7 @@ class SpiSendTask:
         self.sim = sim
         self.interconnect = interconnect
         self.transport = transport
+        self.observer = observer
         self.rate = actor.port("in").rate
         self.firing_index = 0
         self._staged: Optional[List] = None
@@ -219,7 +221,18 @@ class SpiSendTask:
             link = self.interconnect.link(
                 self.channel.src_pe, self.channel.dst_pe
             )
-            _, arrival = link.reserve(now, message.wire_bytes)
+            start, arrival = link.reserve(now, message.wire_bytes)
+            if self.observer is not None:
+                self.observer.message(
+                    channel=self.channel.edge.name,
+                    kind="data",
+                    src_pe=self.channel.src_pe,
+                    dst_pe=self.channel.dst_pe,
+                    nbytes=message.wire_bytes,
+                    requested=now,
+                    started=start,
+                    arrived=arrival,
+                )
             self.sim.at(arrival, deliver)
 
 
@@ -243,9 +256,16 @@ class SyncTokenPool:
         self.name = name
         self.tokens = initial
         self.messages_sent = 0
+        #: most tokens ever held at once (observability)
+        self.high_water = initial
+        #: failed availability checks — the consumer retried on empty
+        self.empty_stalls = 0
 
     def available(self) -> bool:
-        return self.tokens > 0
+        if self.tokens > 0:
+            return True
+        self.empty_stalls += 1
+        return False
 
     def consume(self) -> None:
         if self.tokens <= 0:
@@ -256,6 +276,8 @@ class SyncTokenPool:
 
     def deposit(self) -> None:
         self.tokens += 1
+        if self.tokens > self.high_water:
+            self.high_water = self.tokens
 
 
 class SyncedTask:
@@ -277,6 +299,7 @@ class SyncedTask:
         notifications: Optional[List[tuple]] = None,
         phase: int = 0,
         period: int = 1,
+        observer=None,
     ) -> None:
         if period < 1 or not 0 <= phase < period:
             raise ValueError("need 0 <= phase < period")
@@ -287,6 +310,7 @@ class SyncedTask:
         self.notifications = list(notifications or [])
         self.phase = phase
         self.period = period
+        self.observer = observer
         self._count = 0
 
     @property
@@ -313,8 +337,19 @@ class SyncedTask:
         self.inner.finish(now)
         if self._participates():
             for pool, link, wire_bytes in self.notifications:
-                _, arrival = link.reserve(now, wire_bytes)
+                start, arrival = link.reserve(now, wire_bytes)
                 pool.messages_sent += 1
+                if self.observer is not None:
+                    self.observer.message(
+                        channel=pool.name,
+                        kind="resync",
+                        src_pe=link.src_pe,
+                        dst_pe=link.dst_pe,
+                        nbytes=wire_bytes,
+                        requested=now,
+                        started=start,
+                        arrived=arrival,
+                    )
                 sim = self.sim
 
                 def deliver(pool=pool) -> None:
@@ -342,6 +377,7 @@ class SpiReceiveTask:
         out_fifo: LocalFifo,
         sim: Simulator,
         interconnect: Interconnect,
+        observer=None,
     ) -> None:
         self.actor = actor
         self.name = f"{actor.name}"
@@ -349,6 +385,7 @@ class SpiReceiveTask:
         self.out_fifo = out_fifo
         self.sim = sim
         self.interconnect = interconnect
+        self.observer = observer
         self.firing_index = 0
 
     def ready(self, now: int) -> bool:
@@ -374,7 +411,18 @@ class SpiReceiveTask:
             link = self.interconnect.link(
                 self.channel.dst_pe, self.channel.src_pe
             )
-            _, arrival = link.reserve(now, ack.wire_bytes)
+            start, arrival = link.reserve(now, ack.wire_bytes)
+            if self.observer is not None:
+                self.observer.message(
+                    channel=self.channel.edge.name,
+                    kind="ack",
+                    src_pe=self.channel.dst_pe,
+                    dst_pe=self.channel.src_pe,
+                    nbytes=ack.wire_bytes,
+                    requested=now,
+                    started=start,
+                    arrived=arrival,
+                )
             channel = self.channel
 
             def deliver_ack() -> None:

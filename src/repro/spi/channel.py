@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, Optional
 
 from repro.dataflow.graph import Edge
 from repro.platform.memory import BufferMemory
@@ -82,6 +82,9 @@ class SpiChannel:
         )
         #: messages that arrived on the link, awaiting SPI_receive
         self.arrived: Deque[Message] = deque()
+        #: most messages ever queued at once — compared against the
+        #: compile-time bound B(e) by the observability layer
+        self.arrived_high_water = 0
         self.stats = ChannelStats()
 
     def on_send(self) -> None:
@@ -97,6 +100,8 @@ class SpiChannel:
             return
         self.recv_buffer.write(message.payload_bytes)
         self.arrived.append(message)
+        if len(self.arrived) > self.arrived_high_water:
+            self.arrived_high_water = len(self.arrived)
         self.stats.data_messages += 1
         self.stats.data_bytes += message.payload_bytes
         self.stats.header_bytes += message.header_bytes

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.dataflow.graph import Actor, DataflowGraph, Edge, GraphError
+from repro.dataflow.graph import DataflowGraph, Edge, GraphError
 from repro.dataflow.vts import VtsConversion
 from repro.mapping.partition import Partition
 

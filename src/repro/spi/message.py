@@ -19,7 +19,7 @@ known at compile-time, and hence need not be included".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 __all__ = [

@@ -145,6 +145,12 @@ class RunResult:
     #: populated when ``run(..., trace=True)``: every task execution
     #: interval, renderable as a Gantt chart or CSV
     trace: Optional["TraceRecorder"] = None
+    #: populated when ``run(..., metrics=True)``: the full metrics JSON
+    #: document (see :mod:`repro.observability.exporters` for its schema)
+    metrics: Optional[Dict] = None
+    #: populated when ``run(..., metrics=True)``: every inter-PE message
+    #: (data / ack / resync) with request, wire-start and arrival times
+    message_log: Optional[List] = None
 
     @property
     def sync_messages(self) -> int:
@@ -366,19 +372,30 @@ class SpiSystem:
         iterations: int = 1,
         max_cycles: Optional[int] = None,
         trace: bool = False,
+        metrics: bool = False,
     ) -> RunResult:
         """Simulate ``iterations`` graph iterations; returns the metrics.
 
         ``trace=True`` records every task execution interval into
         ``RunResult.trace`` (a :class:`TraceRecorder`) for Gantt/CSV
-        inspection.
+        inspection.  ``metrics=True`` additionally instruments the whole
+        execution path (simulator kernel, transports, channels, sync
+        pools) and fills ``RunResult.metrics`` with the validated
+        metrics JSON document and ``RunResult.message_log`` with every
+        inter-PE message — the inputs of the Chrome-trace and metrics
+        exporters in :mod:`repro.observability`.
         """
         if iterations < 1:
             raise GraphError("iterations must be >= 1")
+        hub = None
+        if metrics:
+            from repro.observability import ObservabilityHub
+
+            hub = ObservabilityHub()
         sim = Simulator()
         recorder = TraceRecorder() if trace else None
         interconnect = Interconnect(default_spec=self.config.link_spec)
-        transport = self._build_transport(sim, interconnect)
+        transport = self._build_transport(sim, interconnect, observer=hub)
         graph = self.insertion.graph
 
         channels: Dict[str, SpiChannel] = {}
@@ -431,6 +448,7 @@ class SpiSystem:
                     sim,
                     interconnect,
                     transport=transport,
+                    observer=hub,
                 )
             elif actor.name in recv_plans:
                 plan = recv_plans[actor.name]
@@ -441,6 +459,7 @@ class SpiSystem:
                     fifos[out_edge.edge_id],
                     sim,
                     interconnect,
+                    observer=hub,
                 )
             else:
                 inputs = {
@@ -487,6 +506,7 @@ class SpiSystem:
                     notifications=[(pool, link, ACK_BYTES)],
                     phase=src_task.params.get("invocation", 0),
                     period=task_reps[src_origin],
+                    observer=hub,
                 )
                 tasks_by_actor[snk_origin] = SyncedTask(
                     tasks_by_actor[snk_origin],
@@ -546,7 +566,7 @@ class SpiSystem:
         else:
             period = final / iterations
 
-        return RunResult(
+        result = RunResult(
             cycles=final,
             execution_time_us=self.config.clock.cycles_to_us(final),
             iterations=iterations,
@@ -564,8 +584,28 @@ class SpiSystem:
             * sum(p.messages_sent for p in sync_pools),
             trace=recorder,
         )
+        if hub is not None:
+            from repro.observability import (
+                build_metrics_document,
+                validate_metrics,
+            )
 
-    def _build_transport(self, sim: Simulator, interconnect: Interconnect):
+            result.message_log = list(hub.messages)
+            result.metrics = build_metrics_document(
+                self,
+                result,
+                hub,
+                channels=channels,
+                transport=transport,
+                sim=sim,
+                sync_pools=sync_pools,
+            )
+            validate_metrics(result.metrics)
+        return result
+
+    def _build_transport(
+        self, sim: Simulator, interconnect: Interconnect, observer=None
+    ):
         """Instantiate the configured data transport for one run."""
         from repro.platform.transport import (
             OrderedBusTransport,
@@ -574,17 +614,19 @@ class SpiSystem:
         )
 
         if self.config.transport == "p2p":
-            return PointToPointTransport(sim, interconnect)
+            return PointToPointTransport(sim, interconnect, observer=observer)
         if self.config.transport == "shared_bus":
             return SharedBusTransport(
                 sim,
                 spec=self.config.link_spec,
                 arbitration_cycles=self.config.bus_arbitration_cycles,
+                observer=observer,
             )
         return OrderedBusTransport(
             sim,
             order=self.transaction_order(),
             spec=self.config.link_spec,
+            observer=observer,
         )
 
     def transaction_order(self) -> List[str]:

@@ -1,14 +1,9 @@
 """Unit tests for the two application graph builders."""
 
-import numpy as np
 import pytest
 
 from repro.apps.lpc import build_adc_graph, build_parallel_error_graph
-from repro.apps.particle_filter import (
-    CrackGrowthModel,
-    build_particle_filter_graph,
-    resample_offset,
-)
+from repro.apps.particle_filter import build_particle_filter_graph, resample_offset
 from repro.dataflow import repetitions_vector, vts_convert
 
 

@@ -1,6 +1,5 @@
 """Unit tests for HSDF expansion."""
 
-import pytest
 
 from repro.dataflow import DataflowGraph, build_pass, repetitions_vector
 from repro.dataflow.hsdf import hsdf_expand, invocation_name

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.dataflow import (
     DataflowGraph,
     DeadlockError,
-    DynamicRate,
     InconsistentGraphError,
     SdfError,
     build_pass,

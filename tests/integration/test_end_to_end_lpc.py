@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.apps.lpc import (
-    Quantizer,
     build_adc_graph,
     build_parallel_error_graph,
     lpc_coefficients,
@@ -13,7 +12,7 @@ from repro.apps.lpc import (
 )
 from repro.apps.lpc.huffman import HuffmanCode
 from repro.mapping import Partition
-from repro.spi import Protocol, SpiConfig, SpiSystem
+from repro.spi import SpiSystem
 
 
 class TestAdcEndToEnd:

@@ -3,13 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.apps.particle_filter import (
-    CrackGrowthModel,
-    ParticleFilter,
-    build_particle_filter_graph,
-    simulate_crack_history,
-)
-from repro.spi import Protocol, SpiConfig, SpiSystem
+from repro.apps.particle_filter import ParticleFilter, build_particle_filter_graph
+from repro.spi import SpiSystem
 
 
 class TestDistributedFilter:

@@ -16,14 +16,7 @@ from repro.dataflow import (
 )
 from repro.mapping import Partition
 from repro.platform import BufferOverflowError, SimulationDeadlock
-from repro.spi import (
-    Protocol,
-    ProtocolConfig,
-    SpiChannel,
-    SpiConfig,
-    SpiSystem,
-    make_data_message,
-)
+from repro.spi import Protocol, ProtocolConfig, SpiChannel, SpiConfig, SpiSystem
 
 
 def two_actor_graph(prod_cycles=5, cons_cycles=50):

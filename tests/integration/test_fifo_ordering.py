@@ -6,7 +6,6 @@ under any protocol.  Sequence-numbered tokens make the property
 directly observable.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ figure and table reports, so a regression that flips a conclusion fails
 loudly.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.lpc import build_parallel_error_graph, frame_stream
@@ -15,7 +14,7 @@ from repro.apps.particle_filter import (
     build_particle_filter_graph,
     simulate_crack_history,
 )
-from repro.mapping import EdgeKind, derive_sync_graph
+from repro.mapping import EdgeKind
 from repro.platform import VIRTEX4_SX35
 from repro.spi import SpiConfig, SpiSystem
 

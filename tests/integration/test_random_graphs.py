@@ -15,7 +15,6 @@ for every one of them:
   synchronization graph.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Integration: SPI against the MPI baseline on the paper applications."""
 
-import pytest
 
 from repro.apps.lpc import build_parallel_error_graph
 from repro.apps.particle_filter import build_particle_filter_graph

@@ -1,6 +1,5 @@
 """Rendering/reporting coverage: dot exports and sync-cost breakdowns."""
 
-import pytest
 
 from repro.dataflow import DataflowGraph, DynamicRate
 from repro.mapping import (

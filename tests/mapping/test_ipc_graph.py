@@ -1,8 +1,6 @@
 """Unit tests for IPC-graph construction (paper §4.1)."""
 
-import pytest
 
-from repro.dataflow import DataflowGraph, GraphError
 from repro.mapping import (
     EdgeKind,
     Partition,

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.mapping import (
-    EdgeKind,
     TimedEdge,
     TimedGraph,
     TimedVertex,

@@ -1,6 +1,5 @@
 """Unit and property tests for resynchronization (paper §4.1)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,11 +1,9 @@
 """Unit tests for synchronization graphs and the redundancy criterion."""
 
-import pytest
 
 from repro.mapping import (
     EdgeKind,
     TimedEdge,
-    TimedGraph,
     TimedVertex,
     build_ipc_graph,
     build_selftimed_schedule,

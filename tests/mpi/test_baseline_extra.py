@@ -1,8 +1,6 @@
 """Additional MPI-baseline coverage: rendezvous details, dynamic graphs,
 mixed networks, and fairness of the comparison."""
 
-import numpy as np
-import pytest
 
 from repro.dataflow import DataflowGraph, DynamicRate
 from repro.mapping import Partition

@@ -1,0 +1,55 @@
+"""BENCH_*.json perf documents: schema and writer behaviour."""
+
+import json
+
+import pytest
+
+from repro.observability import BENCH_SCHEMA, bench_document, write_bench_json
+
+
+def test_document_shape():
+    document = bench_document(
+        "fig6_lpc_scaling",
+        makespan_cycles=5000,
+        iteration_period_cycles=1000.0,
+        wall_seconds=0.5,
+        quick=True,
+        extra={"n_units": 4},
+    )
+    assert document["schema"] == BENCH_SCHEMA
+    assert document["cycles_per_wall_second"] == 10000.0
+    assert document["quick"] is True
+    assert document["extra"] == {"n_units": 4}
+
+
+def test_zero_wall_time_is_safe():
+    document = bench_document(
+        "x", makespan_cycles=10, iteration_period_cycles=1.0, wall_seconds=0.0
+    )
+    assert document["cycles_per_wall_second"] == 0.0
+
+
+def test_negative_wall_time_rejected():
+    with pytest.raises(ValueError):
+        bench_document(
+            "x",
+            makespan_cycles=10,
+            iteration_period_cycles=1.0,
+            wall_seconds=-1.0,
+        )
+
+
+def test_write_round_trips(tmp_path):
+    document = bench_document(
+        "smoke", makespan_cycles=42, iteration_period_cycles=7.0,
+        wall_seconds=0.1,
+    )
+    path = write_bench_json(tmp_path, document)
+    assert path.name == "BENCH_smoke.json"
+    loaded = json.loads(path.read_text())
+    assert loaded == document
+
+
+def test_write_rejects_foreign_documents(tmp_path):
+    with pytest.raises(ValueError, match="schema"):
+        write_bench_json(tmp_path, {"name": "x"})

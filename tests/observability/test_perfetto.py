@@ -1,0 +1,91 @@
+"""The Chrome/Perfetto trace export round-trips and carries the
+required trace_event keys."""
+
+import json
+
+import pytest
+
+from repro.dataflow import DataflowGraph
+from repro.mapping import Partition
+from repro.observability import INTERCONNECT_PID, PE_PID, chrome_trace
+from repro.spi import SpiSystem
+
+
+@pytest.fixture(scope="module")
+def run():
+    graph = DataflowGraph("traced")
+    a = graph.actor("A", cycles=10)
+    b = graph.actor("B", cycles=20)
+    a.add_output("o")
+    b.add_input("i")
+    graph.connect((a, "o"), (b, "i"))
+    partition = Partition.manual(graph, {"A": 0, "B": 1})
+    return SpiSystem.compile(graph, partition).run(
+        iterations=4, trace=True, metrics=True
+    )
+
+
+@pytest.fixture(scope="module")
+def document(run):
+    # Round-trip through the serialised form: what Perfetto would load.
+    return json.loads(
+        json.dumps(chrome_trace(run.trace, run.message_log, clock_mhz=100.0))
+    )
+
+
+def test_top_level_shape(document):
+    assert "traceEvents" in document
+    assert document["traceEvents"]
+
+
+def test_every_event_has_required_keys(document):
+    for event in document["traceEvents"]:
+        assert "ph" in event
+        assert "ts" in event
+        assert "pid" in event
+
+
+def test_task_slices_are_complete_events(document, run):
+    slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == len(run.trace.events)
+    for event in slices:
+        assert event["pid"] == PE_PID
+        assert event["dur"] >= 0
+        assert "iteration" in event["args"]
+
+
+def test_one_named_thread_per_pe(document, run):
+    names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    for pe in {e.pe for e in run.trace.events}:
+        assert names[(PE_PID, pe)] == f"PE{pe}"
+
+
+def test_messages_become_paired_async_events(document, run):
+    begins = [e for e in document["traceEvents"] if e["ph"] == "b"]
+    ends = [e for e in document["traceEvents"] if e["ph"] == "e"]
+    assert len(begins) == len(run.message_log)
+    assert len(ends) == len(run.message_log)
+    by_id = {e["id"]: e for e in begins}
+    for end in ends:
+        begin = by_id[end["id"]]
+        assert begin["pid"] == INTERCONNECT_PID
+        assert end["ts"] >= begin["ts"]
+        assert begin["args"]["src_pe"] != begin["args"]["dst_pe"]
+
+
+def test_timestamps_scale_with_clock(run):
+    fast = chrome_trace(run.trace, clock_mhz=200.0)
+    slow = chrome_trace(run.trace, clock_mhz=100.0)
+    fast_ts = [e["ts"] for e in fast["traceEvents"] if e["ph"] == "X"]
+    slow_ts = [e["ts"] for e in slow["traceEvents"] if e["ph"] == "X"]
+    for f, s in zip(fast_ts, slow_ts):
+        assert f == pytest.approx(s / 2)
+
+
+def test_invalid_clock_rejected(run):
+    with pytest.raises(ValueError):
+        chrome_trace(run.trace, clock_mhz=0)

@@ -5,7 +5,6 @@ import pytest
 from repro.platform import (
     RESOURCE_FIELDS,
     VIRTEX4_SX35,
-    FpgaDevice,
     ResourceVector,
     UtilizationReport,
     estimate_datapath,

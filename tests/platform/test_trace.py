@@ -4,7 +4,7 @@ import pytest
 
 from repro.dataflow import DataflowGraph
 from repro.mapping import Partition
-from repro.platform.trace import TraceEvent, TraceRecorder
+from repro.platform.trace import PEExclusivityError, TraceEvent, TraceRecorder
 from repro.spi import SpiSystem
 
 
@@ -50,8 +50,12 @@ class TestTraceRecorder:
         trace = TraceRecorder()
         trace.record(0, "a", 0, 10, 0)
         trace.record(0, "b", 5, 8, 0)
-        with pytest.raises(AssertionError, match="overlaps"):
+        with pytest.raises(PEExclusivityError, match="overlaps"):
             trace.validate_pe_exclusivity()
+
+    def test_exclusivity_error_is_not_an_assertion(self):
+        # Must survive `python -O`: a real exception type, not `assert`.
+        assert not issubclass(PEExclusivityError, AssertionError)
 
     def test_csv(self):
         csv = self.recorder().to_csv()
@@ -71,6 +75,24 @@ class TestTraceRecorder:
 
     def test_empty_gantt(self):
         assert "(empty trace)" in TraceRecorder().gantt()
+
+    def test_gantt_header_aligns_with_bars(self):
+        trace = TraceRecorder()
+        trace.record(0, "t", 0, 10, 0)
+        for width in (8, 25, 72):
+            header, row = trace.gantt(width=width).splitlines()[:2]
+            bar_open = row.index("|")
+            # "0" sits under the first cell of the bar
+            assert header[bar_open + 1] == "0"
+            assert header.endswith("cycles")
+
+    def test_gantt_short_horizon_does_not_collapse_header(self):
+        # horizon (3) far shorter than the width the old math assumed
+        trace = TraceRecorder()
+        trace.record(0, "t", 0, 3, 0)
+        text = trace.gantt(width=72)
+        header = text.splitlines()[0]
+        assert "3 cycles" in header
 
 
 class TestRuntimeIntegration:

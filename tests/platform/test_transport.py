@@ -103,6 +103,59 @@ class TestOrderedBus:
             OrderedBusTransport(Simulator(), order=[])
 
 
+class TestInstrumentation:
+    def test_p2p_per_channel_traffic(self):
+        sim = Simulator()
+        transport = PointToPointTransport(sim, Interconnect(LinkSpec(4, 4, 1)))
+        arrivals, deliver = collect(sim)
+        transport.send("a", 0, 1, 4, 0, deliver("a1"))
+        transport.send("a", 0, 1, 4, 0, deliver("a2"))  # queues behind a1
+        transport.send("b", 2, 3, 4, 0, deliver("b"))
+        sim.run()
+        a = transport.per_channel["a"]
+        assert a.messages == 2
+        assert a.bytes == 8
+        assert a.queueing_cycles == 5  # second message waited for the link
+        assert transport.per_channel["b"].queueing_cycles == 0
+
+    def test_shared_bus_contention_recorded(self):
+        sim = Simulator()
+        bus = SharedBusTransport(sim, LinkSpec(4, 4, 1), arbitration_cycles=2)
+        arrivals, deliver = collect(sim)
+        bus.send("a", 0, 1, 4, 0, deliver("a"))
+        bus.send("b", 2, 3, 4, 0, deliver("b"))
+        sim.run()
+        assert bus.per_channel["a"].contention_cycles == 0
+        assert bus.per_channel["b"].contention_cycles == 7  # a's occupancy
+
+    def test_ordered_bus_slot_wait_is_queueing_not_contention(self):
+        sim = Simulator()
+        bus = OrderedBusTransport(sim, order=["a", "b"], spec=LinkSpec(0, 4, 1))
+        arrivals, deliver = collect(sim)
+        bus.send("b", 0, 1, 4, 0, deliver("b"))  # out of turn: waits for a
+        sim.at(10, lambda: bus.send("a", 0, 1, 4, 10, deliver("a")))
+        sim.run()
+        b = bus.per_channel["b"]
+        assert b.queueing_cycles >= 10  # waited for a's slot
+        assert b.queueing_cycles > b.contention_cycles
+
+    def test_observer_receives_message_records(self):
+        from repro.observability import ObservabilityHub
+
+        hub = ObservabilityHub()
+        sim = Simulator()
+        transport = PointToPointTransport(
+            sim, Interconnect(LinkSpec(4, 4, 1)), observer=hub
+        )
+        transport.send("a", 0, 1, 4, 0, lambda: None, kind="data")
+        sim.run()
+        assert len(hub.messages) == 1
+        record = hub.messages[0]
+        assert record.kind == "data"
+        assert record.arrived > record.started >= record.requested
+        assert hub.byte_split() == {"data": 4}
+
+
 class TestRuntimeIntegration:
     def build(self, transport):
         from repro.dataflow import DataflowGraph

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.dataflow import (
-    DataflowGraph,
-    DynamicRate,
-    GraphError,
-    build_pass,
-    repetitions_vector,
-    vts_convert,
-)
+from repro.dataflow import GraphError, build_pass, repetitions_vector, vts_convert
 from repro.mapping import Partition
 from repro.spi import insert_spi_actors
 

@@ -1,6 +1,5 @@
 """Unit tests for SPI module resource costs."""
 
-import pytest
 
 from repro.spi.resources import (
     channel_cost,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dataflow import DataflowGraph, DynamicRate
-from repro.mapping import EdgeKind, Partition
+from repro.mapping import Partition
 from repro.spi import Protocol, SpiConfig, SpiSystem
 
 

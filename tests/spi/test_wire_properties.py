@@ -1,6 +1,5 @@
 """Property tests on the wire formats and flow-control state machines."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -70,3 +70,51 @@ class TestCommands:
         assert "SPI system" in out
         assert "self-timed schedule" in out
         assert "SPI_dynamic" in out  # the LPC channels
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "--app", "chain", "--iterations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "processing elements:" in out
+        assert "MCM bound" in out
+
+    def test_run_lpc_writes_artefacts(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--app", "lpc",
+                    "--pes", "3",
+                    "--iterations", "4",
+                    "--trace-out", str(trace_path),
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        assert all(
+            "ph" in e and "ts" in e and "pid" in e
+            for e in trace["traceEvents"]
+        )
+        metrics = json.loads(metrics_path.read_text())
+        from repro.observability import validate_metrics
+
+        validate_metrics(metrics)
+        for channel in metrics["channels"]:
+            assert (
+                channel["occupancy_high_water_messages"]
+                <= channel["physical_slots"]
+            )
+
+    def test_run_pf(self, capsys):
+        assert main(
+            ["run", "--app", "pf", "--pes", "2", "--iterations", "4"]
+        ) == 0
+        assert "channels:" in capsys.readouterr().out

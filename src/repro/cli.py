@@ -11,6 +11,13 @@ system, without writing any code::
     python -m repro.cli trace           # Gantt chart of a pipelined chain
     python -m repro.cli run --app lpc --trace-out trace.json \
         --metrics-out metrics.json      # instrumented run + exports
+    python -m repro.cli conform --seeds 200 --out report.json
+    python -m repro.cli conform --replay 137  # re-run one failing seed
+
+``conform`` runs the differential conformance campaign (see
+``TESTING.md``): seeded random graphs executed under SPI, MPI and a
+single-PE reference, cross-checked by the oracle stack, failures shrunk
+to minimal replayable counterexamples.
 
 ``run`` executes one example application fully instrumented and writes
 the observability artefacts: a Chrome/Perfetto-loadable trace JSON
@@ -275,6 +282,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from repro.conformance import CampaignConfig, GraphShape, run_campaign
+    from repro.observability import write_json
+
+    if args.replay is not None and args.seeds is not None:
+        print(
+            "error: --replay and --seeds are mutually exclusive "
+            "(--replay re-runs exactly one seed)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        shape = GraphShape.parse(args.shape)
+    except ValueError as exc:
+        print(f"error: --shape: {exc}", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        seeds, seed_start = 1, args.replay
+    else:
+        seeds = args.seeds if args.seeds is not None else 50
+        seed_start = args.seed_start
+    try:
+        config = CampaignConfig(
+            seeds=seeds,
+            seed_start=seed_start,
+            iterations=args.iterations,
+            quick=args.quick,
+            shrink=not args.no_shrink,
+            shape=shape,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = run_campaign(config)
+    failing = report["failing_seeds"]
+    mode = "quick" if config.quick else "full"
+    print(
+        f"conformance: checked {report['checked']} seed(s) "
+        f"[{seed_start}..{seed_start + seeds - 1}] in {mode} mode, "
+        f"{len(failing)} failing"
+    )
+    print(
+        f"wall: {report['bench']['wall_seconds']:.2f} s, "
+        f"simulated cycles: {report['bench']['makespan_cycles']}"
+    )
+    for failure in report["failures"]:
+        first = failure["violations"][0]
+        line = (
+            f"  seed {failure['seed']}: [{first['oracle']}/{first['run']}] "
+            f"{first['detail']}"
+        )
+        shrunk = failure.get("shrunk")
+        if shrunk:
+            line += (
+                f" (shrunk to {shrunk['actors']} actors / "
+                f"{shrunk['edges']} edges)"
+            )
+        print(line)
+    if args.out:
+        path = write_json(args.out, report)
+        print(f"wrote conformance report: {path}")
+    return 1 if failing else 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.apps.lpc import build_parallel_error_graph, frame_stream
     from repro.apps.particle_filter import (
@@ -312,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("trace", _cmd_trace, "Gantt trace of a pipelined chain"),
         ("describe", _cmd_describe, "compilation reports of both apps"),
         ("run", _cmd_run, "instrumented run with trace/metrics export"),
+        ("conform", _cmd_conform, "differential conformance campaign"),
     ):
         command = sub.add_parser(name, help=description)
         command.add_argument(
@@ -325,8 +399,8 @@ def build_parser() -> argparse.ArgumentParser:
         command.set_defaults(handler=handler)
         if name == "run":
             command.add_argument(
-                "--app", choices=("lpc", "pf", "chain"), default="lpc",
-                help="example application to execute (default lpc)",
+                "--app", choices=("lpc", "pf", "chain"), required=True,
+                help="example application to execute",
             )
             command.add_argument(
                 "--pes", type=int, default=3,
@@ -345,6 +419,38 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--metrics-out", metavar="PATH", default=None,
                 help="write the metrics JSON document here",
+            )
+        if name == "conform":
+            command.add_argument(
+                "--seeds", type=int, default=None, metavar="N",
+                help="number of seeds to check (default 50)",
+            )
+            command.add_argument(
+                "--seed-start", type=int, default=0, metavar="S",
+                help="first seed of the campaign (default 0)",
+            )
+            command.add_argument(
+                "--shape", default=None, metavar="K=V,...",
+                help=(
+                    "generator shape overrides, e.g. "
+                    "'max_actors=5,dynamic_prob=0.5'"
+                ),
+            )
+            command.add_argument(
+                "--replay", type=int, default=None, metavar="SEED",
+                help="re-run exactly one seed (conflicts with --seeds)",
+            )
+            command.add_argument(
+                "--out", metavar="PATH", default=None,
+                help="write the campaign report JSON here",
+            )
+            command.add_argument(
+                "--quick", action="store_true",
+                help="skip the no-resync and forced-UBS SPI runs",
+            )
+            command.add_argument(
+                "--no-shrink", action="store_true",
+                help="report failures without shrinking them",
             )
     return parser
 

@@ -1,0 +1,79 @@
+"""Conformance subsystem: fuzzing, differential oracles, shrinking.
+
+The machine-checked statement of the paper's equivalence claim: SPI's
+compile-time analysis (repetitions vector, VTS bounds, resynchronized
+self-timed schedules) and its simulated runtime stay semantically
+identical to an MPI-style baseline and to a single-PE reference
+execution, over arbitrarily many generated graphs.
+
+Entry points:
+
+* :func:`generate_spec` / :class:`GraphShape` — seeded graph generation
+* :func:`build_case` / :class:`GraphSpec` — spec materialisation
+* :func:`run_oracle_stack` — the differential oracle battery
+* :func:`shrink` — counterexample minimisation
+* :func:`run_campaign` / :func:`replay_seed` — campaign driver behind
+  the ``repro conform`` CLI subcommand
+"""
+
+from repro.conformance.generator import GraphShape, generate_spec
+from repro.conformance.oracles import (
+    DEFAULT_MAX_CYCLES,
+    OracleReport,
+    Violation,
+    default_occupancy_bound,
+    run_oracle_stack,
+)
+from repro.conformance.reference import ReferenceError, run_reference
+from repro.conformance.runner import (
+    REPORT_SCHEMA,
+    CampaignConfig,
+    replay_seed,
+    run_campaign,
+)
+from repro.conformance.shrinker import (
+    ShrinkResult,
+    load_replay_file,
+    oracle_failure_predicate,
+    render_pytest_repro,
+    shrink,
+    write_replay_file,
+)
+from repro.conformance.spec import (
+    ActorSpec,
+    ConformanceCase,
+    EdgeSpec,
+    GraphSpec,
+    SpecError,
+    TokenTap,
+    build_case,
+)
+
+__all__ = [
+    "ActorSpec",
+    "CampaignConfig",
+    "ConformanceCase",
+    "DEFAULT_MAX_CYCLES",
+    "EdgeSpec",
+    "GraphShape",
+    "GraphSpec",
+    "OracleReport",
+    "REPORT_SCHEMA",
+    "ReferenceError",
+    "ShrinkResult",
+    "SpecError",
+    "TokenTap",
+    "Violation",
+    "build_case",
+    "default_occupancy_bound",
+    "generate_spec",
+    "load_replay_file",
+    "oracle_failure_predicate",
+    "render_pytest_repro",
+    "replay_seed",
+    "run_campaign",
+    "run_oracle_stack",
+    "run_reference",
+    "shrink",
+    "write_replay_file",
+]

@@ -1,0 +1,204 @@
+"""Seeded random graph generation for conformance campaigns.
+
+Every spec is a pure function of ``(seed, shape)`` via one
+``random.Random(seed)`` stream, so a campaign is replayable from seeds
+alone and a single failing seed reproduces bit-for-bit with
+``repro conform --replay <seed>``.
+
+Topology strategy: draw the repetitions vector first, then build a
+spanning DAG (every actor consumes from some earlier actor, so the graph
+is connected), sprinkle extra forward edges for fan-in/fan-out and
+reconvergence, and optionally close one feedback edge carrying at least
+one full iteration of delay tokens (keeping a PASS admissible).
+Rates are *derived* from the repetitions vector (see
+:mod:`repro.conformance.spec`), which keeps every generated graph
+SDF-consistent by construction — including after the shrinker removes
+actors or edges.
+
+Dynamic edges are only placed between actors with equal repetitions and
+carry no delay, matching what VTS conversion accepts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.conformance.spec import ActorSpec, EdgeSpec, GraphSpec
+
+__all__ = ["GraphShape", "generate_spec"]
+
+
+@dataclass(frozen=True)
+class GraphShape:
+    """Knobs controlling the distribution of generated graphs.
+
+    All fields can be set from the CLI via ``--shape k=v,k=v`` (see
+    :meth:`parse`).
+    """
+
+    min_actors: int = 3
+    max_actors: int = 7
+    max_repetition: int = 3
+    max_rate_factor: int = 2
+    max_cycles: int = 25
+    token_bytes: int = 4
+    extra_edge_prob: float = 0.35
+    feedback_prob: float = 0.30
+    delay_prob: float = 0.25
+    max_delay_iterations: int = 2
+    dynamic_prob: float = 0.25
+    max_dynamic_bound: int = 4
+    max_pes: int = 3
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_actors <= self.max_actors:
+            raise ValueError("need 1 <= min_actors <= max_actors")
+        if self.max_repetition < 1 or self.max_rate_factor < 1:
+            raise ValueError("max_repetition and max_rate_factor must be >= 1")
+        if self.max_cycles < 1 or self.token_bytes < 1:
+            raise ValueError("max_cycles and token_bytes must be >= 1")
+        if self.max_dynamic_bound < 2:
+            raise ValueError("max_dynamic_bound must be >= 2")
+        if self.max_pes < 1:
+            raise ValueError("max_pes must be >= 1")
+        if self.max_delay_iterations < 1:
+            raise ValueError("max_delay_iterations must be >= 1")
+        for name in ("extra_edge_prob", "feedback_prob", "delay_prob",
+                     "dynamic_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "GraphShape":
+        """Parse ``"k=v,k=v"`` overrides against the defaults.
+
+        >>> GraphShape.parse("max_actors=5,dynamic_prob=0.5").max_actors
+        5
+        """
+        if not text:
+            return cls()
+        fields = {f.name: f.type for f in dataclasses.fields(cls)}
+        overrides = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"shape item {item!r} is not of the form k=v")
+            key, _, raw = item.partition("=")
+            key = key.strip()
+            if key not in fields:
+                raise ValueError(
+                    f"unknown shape knob {key!r} (known: {', '.join(sorted(fields))})"
+                )
+            caster = float if key.endswith("_prob") else int
+            try:
+                overrides[key] = caster(raw.strip())
+            except ValueError as exc:
+                raise ValueError(f"shape knob {key!r}: {exc}") from None
+        return cls(**overrides)
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // math.gcd(a, b)
+
+
+def _forward_edge(
+    rng: random.Random, shape: GraphShape, src: ActorSpec, snk: ActorSpec
+) -> EdgeSpec:
+    """A forward (DAG) edge — static, possibly delayed, possibly dynamic."""
+    if (
+        src.repetitions == snk.repetitions
+        and rng.random() < shape.dynamic_prob
+    ):
+        bound = rng.randint(2, shape.max_dynamic_bound)
+        sequence = tuple(
+            rng.randint(1, bound) for _ in range(rng.randint(1, 4))
+        )
+        return EdgeSpec(
+            src=src.name,
+            snk=snk.name,
+            token_bytes=shape.token_bytes,
+            dynamic=True,
+            dyn_bound=bound,
+            dyn_min=1,
+            rate_sequence=sequence,
+        )
+    factor = rng.randint(1, shape.max_rate_factor)
+    cons = factor * _lcm(src.repetitions, snk.repetitions) // snk.repetitions
+    delay = 0
+    if rng.random() < shape.delay_prob:
+        # delay in whole multiples of the consumption rate keeps the
+        # pipeline-offset semantics easy to reason about
+        delay = cons * rng.randint(1, shape.max_delay_iterations)
+    return EdgeSpec(
+        src=src.name,
+        snk=snk.name,
+        rate_factor=factor,
+        delay_tokens=delay,
+        token_bytes=shape.token_bytes,
+    )
+
+
+def generate_spec(seed: int, shape: Optional[GraphShape] = None) -> GraphSpec:
+    """Generate one replayable :class:`GraphSpec` from ``seed``."""
+    shape = shape or GraphShape()
+    rng = random.Random(seed)
+
+    n_actors = rng.randint(shape.min_actors, shape.max_actors)
+    actors = tuple(
+        ActorSpec(
+            name=f"a{i}",
+            repetitions=rng.randint(1, shape.max_repetition),
+            cycles=rng.randint(1, shape.max_cycles),
+        )
+        for i in range(n_actors)
+    )
+
+    edges = []
+    # spanning DAG: every non-root actor consumes from an earlier one
+    for i in range(1, n_actors):
+        edges.append(
+            _forward_edge(rng, shape, actors[rng.randrange(i)], actors[i])
+        )
+    # extra forward edges: fan-out, fan-in, reconvergent paths
+    for i in range(2, n_actors):
+        if rng.random() < shape.extra_edge_prob:
+            edges.append(
+                _forward_edge(rng, shape, actors[rng.randrange(i)], actors[i])
+            )
+    # optionally close one static feedback edge with >= 1 iteration of
+    # delay, so the cycle stays deadlock-free (PASS admissible)
+    if n_actors >= 2 and rng.random() < shape.feedback_prob:
+        src_i = rng.randrange(1, n_actors)
+        snk_i = rng.randrange(src_i)
+        src, snk = actors[src_i], actors[snk_i]
+        factor = rng.randint(1, shape.max_rate_factor)
+        cons = factor * _lcm(src.repetitions, snk.repetitions) // snk.repetitions
+        delay = cons * snk.repetitions * rng.randint(1, shape.max_delay_iterations)
+        edges.append(
+            EdgeSpec(
+                src=src.name,
+                snk=snk.name,
+                rate_factor=factor,
+                delay_tokens=delay,
+                token_bytes=shape.token_bytes,
+            )
+        )
+
+    n_pes = rng.randint(1, shape.max_pes)
+    assignment = tuple(
+        (actor.name, rng.randrange(n_pes)) for actor in actors
+    )
+    return GraphSpec(
+        seed=seed,
+        actors=actors,
+        edges=tuple(edges),
+        n_pes=n_pes,
+        assignment=assignment,
+    )

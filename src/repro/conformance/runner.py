@@ -1,0 +1,190 @@
+"""Campaign driver: generate seeds, run oracles, shrink failures, report.
+
+A campaign is the unit the ``repro conform`` CLI subcommand and the CI
+``conformance-smoke`` job execute: a contiguous range of seeds, each
+turned into a case by the generator, run through the oracle stack, with
+any violation shrunk to a minimal spec and rendered as replay JSON plus
+a generated pytest repro.
+
+The report (schema ``repro.conformance/1``) embeds a standard
+observability bench document (schema ``repro.bench/1``), so campaign
+wall-time and aggregate simulated cycles flow into the same BENCH-style
+artefact stream the perf jobs gate on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.conformance.generator import GraphShape, generate_spec
+from repro.conformance.oracles import (
+    DEFAULT_MAX_CYCLES,
+    OracleReport,
+    Violation,
+    run_oracle_stack,
+)
+from repro.conformance.shrinker import (
+    oracle_failure_predicate,
+    render_pytest_repro,
+    shrink,
+)
+from repro.conformance.spec import GraphSpec, SpecError, build_case
+from repro.observability.bench import bench_document
+
+__all__ = ["CampaignConfig", "run_campaign", "replay_seed", "REPORT_SCHEMA"]
+
+#: schema identifier of campaign reports
+REPORT_SCHEMA = "repro.conformance/1"
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one conformance campaign."""
+
+    seeds: int = 50
+    seed_start: int = 0
+    iterations: int = 4
+    quick: bool = False
+    shrink: bool = True
+    shape: GraphShape = field(default_factory=GraphShape)
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+
+def _check_seed(seed: int, config: CampaignConfig) -> OracleReport:
+    """Build and run the oracle stack for one seed."""
+    spec = generate_spec(seed, config.shape)
+    try:
+        case = build_case(spec)
+    except SpecError as exc:
+        # a generator bug, not a semantics bug — still a campaign failure
+        report = OracleReport(seed=seed)
+        report.violations.append(Violation("generator", "build", str(exc)))
+        return report
+    return run_oracle_stack(
+        case,
+        iterations=config.iterations,
+        quick=config.quick,
+        max_cycles=config.max_cycles,
+    )
+
+
+def _shrink_failure(
+    seed: int, report: OracleReport, config: CampaignConfig
+) -> Optional[Dict[str, object]]:
+    """Shrink the first violation of ``seed`` to a minimal spec."""
+    target = report.violations[0].oracle
+    if target == "generator":
+        return None
+    predicate = oracle_failure_predicate(
+        target,
+        iterations=config.iterations,
+        quick=config.quick,
+        max_cycles=config.max_cycles,
+    )
+    spec = generate_spec(seed, config.shape)
+    if not predicate(spec):
+        # flaky failure (should not happen: everything is seeded)
+        return None
+    result = shrink(spec, predicate)
+    return {
+        "oracle": target,
+        "actors": len(result.spec.actors),
+        "edges": len(result.spec.edges),
+        "steps": result.steps,
+        "attempts": result.attempts,
+        "spec": result.spec.to_json(),
+        "pytest_repro": render_pytest_repro(result.spec, target),
+    }
+
+
+def run_campaign(config: CampaignConfig) -> Dict[str, object]:
+    """Run the campaign and return the ``repro.conformance/1`` report."""
+    started = time.monotonic()
+    failures: List[Dict[str, object]] = []
+    cases: List[Dict[str, object]] = []
+    total_cycles = 0
+    by_oracle: Dict[str, int] = {}
+
+    for seed in range(config.seed_start, config.seed_start + config.seeds):
+        report = _check_seed(seed, config)
+        total_cycles += sum(
+            int(run.get("cycles", 0)) for run in report.runs.values()
+        )
+        cases.append(report.to_json())
+        if report.ok:
+            continue
+        for violation in report.violations:
+            by_oracle[violation.oracle] = by_oracle.get(violation.oracle, 0) + 1
+        entry: Dict[str, object] = {
+            "seed": seed,
+            "violations": [v.to_json() for v in report.violations],
+        }
+        if config.shrink:
+            shrunk = _shrink_failure(seed, report, config)
+            if shrunk is not None:
+                entry["shrunk"] = shrunk
+        failures.append(entry)
+
+    wall = time.monotonic() - started
+    bench = bench_document(
+        name="conformance_campaign",
+        makespan_cycles=total_cycles,
+        iteration_period_cycles=0.0,
+        wall_seconds=wall,
+        quick=config.quick,
+        extra={
+            "seeds": config.seeds,
+            "seed_start": config.seed_start,
+            "failing_seeds": len(failures),
+            "violations_by_oracle": by_oracle,
+        },
+    )
+    return {
+        "schema": REPORT_SCHEMA,
+        "seeds": config.seeds,
+        "seed_start": config.seed_start,
+        "iterations": config.iterations,
+        "quick": config.quick,
+        "shape": {
+            key: getattr(config.shape, key)
+            for key in (
+                "min_actors",
+                "max_actors",
+                "max_repetition",
+                "max_rate_factor",
+                "dynamic_prob",
+                "feedback_prob",
+                "max_pes",
+            )
+        },
+        "checked": len(cases),
+        "failing_seeds": [f["seed"] for f in failures],
+        "failures": failures,
+        "cases": cases,
+        "bench": bench,
+    }
+
+
+def replay_seed(
+    seed: int, config: Optional[CampaignConfig] = None
+) -> Dict[str, object]:
+    """Re-run exactly one seed; deterministic wrt. :func:`run_campaign`."""
+    base = config or CampaignConfig()
+    single = CampaignConfig(
+        seeds=1,
+        seed_start=seed,
+        iterations=base.iterations,
+        quick=base.quick,
+        shrink=base.shrink,
+        shape=base.shape,
+        max_cycles=base.max_cycles,
+    )
+    return run_campaign(single)

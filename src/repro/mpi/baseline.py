@@ -145,6 +145,15 @@ class _MpiSendTask:
     def ready(self, now: int) -> bool:
         return len(self.in_fifo) >= self.rate
 
+    def blocked_reason(self, now: int) -> Optional[str]:
+        """Why this send cannot start (None when it can)."""
+        if len(self.in_fifo) < self.rate:
+            return (
+                f"starved on {self.in_fifo.edge.name!r} "
+                f"(has {len(self.in_fifo)}, needs {self.rate})"
+            )
+        return None
+
     def _copy_cycles(self, nbytes: int) -> int:
         words = (nbytes + self.config.word_bytes - 1) // self.config.word_bytes
         return words * self.config.copy_cycles_per_word
@@ -238,6 +247,16 @@ class _MpiRecvTask:
         if self.channel.rendezvous:
             return self.channel.arrived_rts > 0
         return bool(self.channel.arrived_data)
+
+    def blocked_reason(self, now: int) -> Optional[str]:
+        """Why this receive cannot start (None when it can)."""
+        if not self.ready(now):
+            kind = "RTS envelope" if self.channel.rendezvous else "message"
+            return (
+                f"waiting for a {kind} on channel "
+                f"{self.channel.edge.name!r}"
+            )
+        return None
 
     def _copy_cycles(self, nbytes: int) -> int:
         words = (nbytes + self.config.word_bytes - 1) // self.config.word_bytes

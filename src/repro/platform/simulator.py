@@ -235,7 +235,18 @@ class PESequencer:
     def describe_block(self) -> str:
         task = self.current
         name = task.name if task is not None else "<none>"
-        return (
+        base = (
             f"{self.pe.name} blocked on task {name!r} "
             f"(iteration {self.iteration}, position {self.position})"
         )
+        # tasks that know *why* they cannot proceed (which channel or
+        # fifo is starved/full) report it, making deadlocks diagnosable
+        reason_fn = getattr(task, "blocked_reason", None)
+        if reason_fn is not None:
+            try:
+                reason = reason_fn(self.sim.now)
+            except Exception:
+                reason = None
+            if reason:
+                base = f"{base}: {reason}"
+        return base

@@ -105,6 +105,19 @@ class ComputationTask:
             if port.name in self.inputs
         )
 
+    def blocked_reason(self, now: int) -> Optional[str]:
+        """Why this firing cannot start (None when it can)."""
+        starved = []
+        for port in self.actor.input_ports:
+            fifo = self.inputs.get(port.name)
+            if fifo is not None and len(fifo) < port.rate:
+                starved.append(
+                    f"{fifo.edge.name!r} (has {len(fifo)}, needs {port.rate})"
+                )
+        if starved:
+            return "starved on " + ", ".join(starved)
+        return None
+
     def start(self, now: int) -> int:
         consumed: Dict[str, List] = {}
         for port in self.actor.input_ports:
@@ -183,6 +196,20 @@ class SpiSendTask:
 
     def ready(self, now: int) -> bool:
         return len(self.in_fifo) >= self.rate and self.channel.flow.can_send()
+
+    def blocked_reason(self, now: int) -> Optional[str]:
+        """Why this send cannot start (None when it can)."""
+        if len(self.in_fifo) < self.rate:
+            return (
+                f"starved on {self.in_fifo.edge.name!r} "
+                f"(has {len(self.in_fifo)}, needs {self.rate})"
+            )
+        if not self.channel.flow.can_send():
+            return (
+                f"waiting for ack credit on channel "
+                f"{self.channel.edge.name!r}"
+            )
+        return None
 
     def start(self, now: int) -> int:
         tokens = self.in_fifo.pop(self.rate)
@@ -327,6 +354,24 @@ class SyncedTask:
             return False
         return self.inner.ready(now)
 
+    def blocked_reason(self, now: int) -> Optional[str]:
+        """Why this task cannot start (None when it can).
+
+        Inspects ``pool.tokens`` directly rather than calling
+        :meth:`SyncTokenPool.available`, which counts stalls for the
+        observability layer — diagnosis must not perturb metrics.
+        """
+        if self._participates():
+            empty = [pool.name for pool in self.guards if pool.tokens <= 0]
+            if empty:
+                return "waiting for sync tokens on " + ", ".join(
+                    repr(name) for name in empty
+                )
+        inner_reason = getattr(self.inner, "blocked_reason", None)
+        if inner_reason is not None:
+            return inner_reason(now)
+        return None
+
     def start(self, now: int):
         if self._participates():
             for pool in self.guards:
@@ -390,6 +435,15 @@ class SpiReceiveTask:
 
     def ready(self, now: int) -> bool:
         return self.channel.receive_ready()
+
+    def blocked_reason(self, now: int) -> Optional[str]:
+        """Why this receive cannot start (None when it can)."""
+        if not self.channel.receive_ready():
+            return (
+                f"waiting for a message on channel "
+                f"{self.channel.edge.name!r}"
+            )
+        return None
 
     def start(self, now: int) -> int:
         # The message is consumed at completion; duration models header

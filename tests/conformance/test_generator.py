@@ -1,0 +1,85 @@
+"""Unit tests for the seeded graph generator and its shape knobs."""
+
+import pytest
+
+from repro.conformance import GraphShape, build_case, generate_spec
+from repro.dataflow import repetitions_vector
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        assert generate_spec(42) == generate_spec(42)
+
+    def test_different_seeds_differ_somewhere(self):
+        specs = {generate_spec(seed).to_json().__str__() for seed in range(20)}
+        assert len(specs) > 1
+
+    def test_shape_changes_distribution(self):
+        small = GraphShape(min_actors=3, max_actors=3)
+        assert all(
+            len(generate_spec(seed, small).actors) == 3 for seed in range(10)
+        )
+
+
+class TestGeneratedGraphsAreValid:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_builds_and_is_consistent(self, seed):
+        spec = generate_spec(seed)
+        case = build_case(spec)
+        if not case.graph.is_dynamic:
+            reps = repetitions_vector(case.graph)
+            assert reps == spec.repetitions()
+
+    def test_dynamic_edges_respect_restrictions(self):
+        shape = GraphShape(dynamic_prob=1.0, max_repetition=1)
+        for seed in range(10):
+            spec = generate_spec(seed, shape)
+            for edge in spec.edges:
+                if edge.dynamic:
+                    assert edge.delay_tokens == 0
+                    assert all(
+                        1 <= r <= edge.dyn_bound for r in edge.rate_sequence
+                    )
+
+    def test_static_only_shape(self):
+        shape = GraphShape(dynamic_prob=0.0)
+        for seed in range(10):
+            assert not any(e.dynamic for e in generate_spec(seed, shape).edges)
+
+    def test_pe_count_respected(self):
+        shape = GraphShape(max_pes=1)
+        for seed in range(5):
+            spec = generate_spec(seed, shape)
+            assert spec.n_pes == 1
+            assert all(pe == 0 for _, pe in spec.assignment)
+
+
+class TestShapeParsing:
+    def test_parse_empty_gives_defaults(self):
+        assert GraphShape.parse(None) == GraphShape()
+        assert GraphShape.parse("") == GraphShape()
+
+    def test_parse_overrides(self):
+        shape = GraphShape.parse("max_actors=5, dynamic_prob=0.5")
+        assert shape.max_actors == 5
+        assert shape.dynamic_prob == 0.5
+
+    def test_parse_rejects_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown shape knob"):
+            GraphShape.parse("bogus=1")
+
+    def test_parse_rejects_malformed_item(self):
+        with pytest.raises(ValueError, match="k=v"):
+            GraphShape.parse("max_actors")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            GraphShape.parse("max_actors=lots")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GraphShape(min_actors=5, max_actors=3)
+        with pytest.raises(ValueError):
+            GraphShape(dynamic_prob=1.5)
+        with pytest.raises(ValueError):
+            GraphShape(max_pes=0)

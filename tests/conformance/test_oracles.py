@@ -1,0 +1,94 @@
+"""Oracle-stack tests: clean seeds pass, injected defects are caught."""
+
+import pytest
+
+from repro.conformance import (
+    ActorSpec,
+    EdgeSpec,
+    GraphSpec,
+    build_case,
+    generate_spec,
+    run_oracle_stack,
+    run_reference,
+)
+from repro.conformance.reference import ReferenceError
+
+
+class TestReferenceExecution:
+    def test_reference_streams_cover_every_actor(self):
+        case = build_case(generate_spec(0))
+        streams = run_reference(case, iterations=2)
+        assert set(streams) == {a.name for a in case.spec.actors}
+        reps = case.spec.repetitions()
+        for name, firings in streams.items():
+            assert len(firings) == 2 * reps[name]
+            # firing indices are consecutive from zero
+            assert [entry[0] for entry in firings] == list(
+                range(2 * reps[name])
+            )
+
+    def test_reference_validates_iterations(self):
+        case = build_case(generate_spec(0))
+        with pytest.raises(ReferenceError):
+            run_reference(case, iterations=0)
+
+
+class TestCleanSeedsConform:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_full_stack_clean(self, seed):
+        case = build_case(generate_spec(seed))
+        report = run_oracle_stack(case)
+        assert report.ok, [v.to_json() for v in report.violations]
+        assert "spi" in report.runs
+        assert "mpi" in report.runs
+        assert "reference" in report.runs
+
+    def test_quick_mode_runs_fewer_configs(self):
+        case = build_case(generate_spec(1))
+        report = run_oracle_stack(case, quick=True)
+        assert report.ok
+        assert "spi-noresync" not in report.runs
+        assert "spi-ubs" not in report.runs
+
+
+class TestDefectsAreCaught:
+    def test_mutated_occupancy_bound_fires(self):
+        """Tightening the bound below real occupancy must raise a
+        violation — proof the occupancy oracle actually observes the
+        simulated buffers (mutation check, ISSUE acceptance)."""
+
+        def off_by_one(plan):
+            return max(0, plan.capacity_messages - 1) * plan.message_payload_bytes
+
+        caught = 0
+        for seed in range(10):
+            case = build_case(generate_spec(seed))
+            report = run_oracle_stack(case, occupancy_bound_fn=off_by_one)
+            if any(v.oracle == "occupancy" for v in report.violations):
+                caught += 1
+        assert caught > 0
+
+    def test_execution_failure_is_reported_not_raised(self):
+        """A structurally deadlocked graph (zero-delay cycle) turns into
+        an execution violation, not an exception."""
+        spec = GraphSpec(
+            seed=123,
+            actors=(ActorSpec("a0", 1, 5), ActorSpec("a1", 1, 5)),
+            edges=(
+                EdgeSpec(src="a0", snk="a1"),
+                EdgeSpec(src="a1", snk="a0", delay_tokens=0),
+            ),
+            n_pes=2,
+            assignment=(("a0", 0), ("a1", 1)),
+        )
+        case = build_case(spec)
+        report = run_oracle_stack(case, quick=True)
+        assert not report.ok
+        assert all(v.oracle == "execution" for v in report.violations)
+
+    def test_report_json_shape(self):
+        case = build_case(generate_spec(2))
+        document = run_oracle_stack(case, quick=True).to_json()
+        assert document["ok"] is True
+        assert document["seed"] == 2
+        assert "spi" in document["runs"]

@@ -1,4 +1,11 @@
-"""Shared fixtures: canonical graphs and application inputs."""
+"""Shared fixtures and graph builders: canonical graphs, app inputs.
+
+The ``build_*`` functions are plain importable helpers (``tests`` is a
+package: ``from tests.conftest import build_pipeline_graph``) so the
+spi, mpi, mapping and integration suites share one set of canonical
+pipelines instead of re-declaring them per module; the fixtures below
+wrap them for tests that prefer injection.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,93 @@ import pytest
 
 from repro.dataflow import DataflowGraph, DynamicRate
 from repro.mapping import Partition
+
+
+def build_pipeline_graph(collect=None, cycles=(10, 20, 5)):
+    """A -> B -> C with functional kernels (source, square, sink)."""
+    graph = DataflowGraph("pipe")
+
+    def src(k, inputs):
+        return {"o": [k + 1]}
+
+    def square(k, inputs):
+        return {"o": [inputs["i"][0] ** 2]}
+
+    def sink(k, inputs):
+        if collect is not None:
+            collect.append(inputs["i"][0])
+        return {}
+
+    a = graph.actor("A", kernel=src, cycles=cycles[0])
+    b = graph.actor("B", kernel=square, cycles=cycles[1])
+    c = graph.actor("C", kernel=sink, cycles=cycles[2])
+    a.add_output("o")
+    b.add_input("i")
+    b.add_output("o")
+    c.add_input("i")
+    graph.connect((a, "o"), (b, "i"))
+    graph.connect((b, "o"), (c, "i"))
+    return graph
+
+
+def build_payload_pipeline(payload_rate=1, token_bytes=4, cycles=(10, 20, 5)):
+    """Structural A -> B -> C chain with adjustable message payloads.
+
+    Returns ``(graph, partition)`` with the canonical A/C-on-PE0,
+    B-on-PE1 placement (two interprocessor channels).
+    """
+    graph = DataflowGraph("pipe")
+    a = graph.actor("A", cycles=cycles[0])
+    b = graph.actor("B", cycles=cycles[1])
+    c = graph.actor("C", cycles=cycles[2])
+    a.add_output("o", rate=payload_rate, token_bytes=token_bytes)
+    b.add_input("i", rate=payload_rate, token_bytes=token_bytes)
+    b.add_output("o", rate=payload_rate, token_bytes=token_bytes)
+    c.add_input("i", rate=payload_rate, token_bytes=token_bytes)
+    graph.connect((a, "o"), (b, "i"))
+    graph.connect((b, "o"), (c, "i"))
+    partition = Partition.manual(graph, {"A": 0, "B": 1, "C": 0})
+    return graph, partition
+
+
+def build_sequenced_pipeline(n_hops: int, collect: list):
+    """A chain of forwarding actors; the source numbers its tokens."""
+    graph = DataflowGraph(f"seq{n_hops}")
+
+    def src(k, inputs):
+        return {"o": [k]}
+
+    def forward(k, inputs):
+        return {"o": list(inputs["i"])}
+
+    def sink(k, inputs):
+        collect.extend(inputs["i"])
+        return {}
+
+    previous = graph.actor("src", kernel=src, cycles=3)
+    previous.add_output("o")
+    for hop in range(n_hops):
+        actor = graph.actor(f"hop{hop}", kernel=forward, cycles=5 + hop)
+        actor.add_input("i")
+        actor.add_output("o")
+        graph.connect((previous, "o"), (actor, "i"))
+        previous = actor
+    sink_actor = graph.actor("snk", kernel=sink, cycles=2)
+    sink_actor.add_input("i")
+    graph.connect((previous, "o"), (sink_actor, "i"))
+    return graph
+
+
+@pytest.fixture
+def pipeline_graph_factory():
+    """Factory fixture over :func:`build_pipeline_graph`."""
+    return build_pipeline_graph
+
+
+@pytest.fixture
+def payload_pipeline_factory():
+    """Factory fixture over :func:`build_payload_pipeline`."""
+    return build_payload_pipeline
 
 
 @pytest.fixture

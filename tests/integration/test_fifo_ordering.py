@@ -12,34 +12,7 @@ from hypothesis import strategies as st
 from repro.dataflow import DataflowGraph
 from repro.mapping import Partition
 from repro.spi import SpiConfig, SpiSystem
-
-
-def sequenced_pipeline(n_hops: int, collect: list):
-    """A chain of forwarding actors; the source numbers its tokens."""
-    graph = DataflowGraph(f"seq{n_hops}")
-
-    def src(k, inputs):
-        return {"o": [k]}
-
-    def forward(k, inputs):
-        return {"o": list(inputs["i"])}
-
-    def sink(k, inputs):
-        collect.extend(inputs["i"])
-        return {}
-
-    previous = graph.actor("src", kernel=src, cycles=3)
-    previous.add_output("o")
-    for hop in range(n_hops):
-        actor = graph.actor(f"hop{hop}", kernel=forward, cycles=5 + hop)
-        actor.add_input("i")
-        actor.add_output("o")
-        graph.connect((previous, "o"), (actor, "i"))
-        previous = actor
-    sink_actor = graph.actor("snk", kernel=sink, cycles=2)
-    sink_actor.add_input("i")
-    graph.connect((previous, "o"), (sink_actor, "i"))
-    return graph
+from tests.conftest import build_sequenced_pipeline as sequenced_pipeline
 
 
 class TestFifoOrdering:

@@ -1,8 +1,9 @@
 """Property-based fuzzing of the whole stack on random SDF graphs.
 
-Hypothesis generates random consistent multirate DAGs with random
-delays, execution times and partitions; the invariants below must hold
-for every one of them:
+Graph generation is delegated to the conformance subsystem's seeded
+generator (:mod:`repro.conformance.generator`): hypothesis draws seeds
+and shape knobs, the generator turns them into replayable specs, and
+the invariants below must hold for every materialised case:
 
 * the repetitions vector satisfies the balance equations,
 * the PASS is admissible and restores the initial token state,
@@ -13,95 +14,50 @@ for every one of them:
 * no channel buffer ever exceeds its planned capacity,
 * the measured steady-state period is never below the MCM bound of the
   synchronization graph.
+
+Any failure here reproduces from its seed alone:
+``repro conform --replay <seed>`` (with matching ``--shape``) re-runs
+the exact same case under the full oracle stack.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dataflow import (
-    DataflowGraph,
-    build_pass,
-    repetitions_vector,
-)
+from repro.conformance import GraphShape, build_case, generate_spec
+from repro.dataflow import build_pass, repetitions_vector
 from repro.dataflow.hsdf import hsdf_expand
-from repro.mapping import Partition
 from repro.spi import SpiConfig, SpiSystem
 
+SEEDS = st.integers(min_value=0, max_value=100_000)
 
-@st.composite
-def random_sdf_graph(draw):
-    """A random *consistent* SDF DAG.
-
-    Consistency by construction: draw the repetitions vector ``q``
-    first, then give every edge rates ``prod = k * lcm / q_src`` and
-    ``cons = k * lcm / q_snk`` so the balance equation holds regardless
-    of the DAG shape (reconvergent paths included).
-    """
-    import math
-
-    n_actors = draw(st.integers(2, 6))
-    graph = DataflowGraph("fuzz")
-    actors = []
-    reps = []
-    for index in range(n_actors):
-        cycles = draw(st.integers(1, 50))
-        actors.append(graph.actor(f"a{index}", cycles=cycles))
-        reps.append(draw(st.integers(1, 4)))
-    edges = 0
-    for index in range(1, n_actors):
-        # each actor consumes from >=1 earlier actor: graph stays a DAG
-        n_inputs = draw(st.integers(1, min(2, index)))
-        sources = draw(
-            st.lists(
-                st.integers(0, index - 1),
-                min_size=n_inputs,
-                max_size=n_inputs,
-                unique=True,
-            )
-        )
-        for src_index in sources:
-            q_src, q_snk = reps[src_index], reps[index]
-            lcm = q_src * q_snk // math.gcd(q_src, q_snk)
-            k = draw(st.integers(1, 2))
-            prod = k * lcm // q_src
-            cons = k * lcm // q_snk
-            delay = draw(st.integers(0, 2))
-            src = actors[src_index]
-            snk = actors[index]
-            out_port = src.add_output(f"o{edges}", rate=prod)
-            in_port = snk.add_input(f"i{edges}", rate=cons)
-            graph.connect(out_port, in_port, delay=delay)
-            edges += 1
-    graph.validate()
-    return graph
+#: static-only shape: the SDF/HSDF analyses reject dynamic rates
+STATIC_SHAPE = GraphShape(dynamic_prob=0.0)
 
 
 @st.composite
-def graph_with_partition(draw):
-    graph = draw(random_sdf_graph())
-    n_pes = draw(st.integers(1, 3))
-    assignment = {
-        actor.name: draw(st.integers(0, n_pes - 1)) for actor in graph
-    }
-    return graph, Partition(graph, n_pes, assignment)
+def conformance_cases(draw, shape=None):
+    """A generator-produced case, replayable from its printed seed."""
+    return build_case(generate_spec(draw(SEEDS), shape or GraphShape()))
 
 
 class TestSdfInvariants:
-    @given(graph=random_sdf_graph())
+    @given(seed=SEEDS)
     @settings(max_examples=40, deadline=None)
-    def test_balance_and_pass(self, graph):
+    def test_balance_and_pass(self, seed):
+        graph = build_case(generate_spec(seed, STATIC_SHAPE)).graph
         reps = repetitions_vector(graph)
         for edge in graph.edges:
             assert (
                 reps[edge.src_actor.name] * edge.source.rate
                 == reps[edge.snk_actor.name] * edge.sink.rate
             )
-        schedule = build_pass(graph)  # DAGs never deadlock
+        schedule = build_pass(graph)  # generated delays keep cycles live
         assert len(schedule) == sum(reps.values())
 
-    @given(graph=random_sdf_graph())
+    @given(seed=SEEDS)
     @settings(max_examples=30, deadline=None)
-    def test_hsdf_expansion_invariants(self, graph):
+    def test_hsdf_expansion_invariants(self, seed):
+        graph = build_case(generate_spec(seed, STATIC_SHAPE)).graph
         reps = repetitions_vector(graph)
         expanded = hsdf_expand(graph)
         assert len(expanded) == sum(reps.values())
@@ -109,15 +65,19 @@ class TestSdfInvariants:
         assert all(count == 1 for count in expanded_reps.values())
         assert len(build_pass(expanded)) == len(expanded)
 
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_generation_is_deterministic(self, seed):
+        assert generate_spec(seed) == generate_spec(seed)
+
 
 class TestSpiStackInvariants:
-    @given(case=graph_with_partition())
+    @given(case=conformance_cases())
     @settings(max_examples=20, deadline=None)
     def test_compile_run_completes_with_predicted_traffic(self, case):
-        graph, partition = case
         # resynchronization off: this test isolates the traffic contract
         system = SpiSystem.compile(
-            graph, partition, SpiConfig(resynchronize=False)
+            case.graph, case.partition, SpiConfig(resynchronize=False)
         )
         iterations = 3
         result = system.run(iterations=iterations, max_cycles=10_000_000)
@@ -132,14 +92,13 @@ class TestSpiStackInvariants:
             bound = (plan.capacity_messages + 1) * plan.message_payload_bytes
             assert result.buffer_high_water[name] <= bound
 
-    @given(case=graph_with_partition())
+    @given(case=conformance_cases())
     @settings(max_examples=10, deadline=None)
     def test_makespan_never_beats_mcm(self, case):
         """MCM is an asymptotic lower bound; initial delay tokens allow a
         bounded transient run-ahead, so compare total makespan against
         ``MCM * (iterations - total_delays)`` — the provable form."""
-        graph, partition = case
-        system = SpiSystem.compile(graph, partition)
+        system = SpiSystem.compile(case.graph, case.partition)
         iterations = 12
         result = system.run(iterations=iterations, max_cycles=10_000_000)
         mcm = system.estimated_iteration_period_cycles()
@@ -149,17 +108,16 @@ class TestSpiStackInvariants:
         floor = mcm * max(0, iterations - slack_iterations)
         assert result.cycles >= floor - 1e-6
 
-    @given(case=graph_with_partition())
+    @given(case=conformance_cases())
     @settings(max_examples=10, deadline=None)
     def test_ubs_policy_also_completes(self, case):
         """Forced UBS with a small window must still be deadlock-free,
         with and without resynchronization (whose added sync edges are
         enforced at run time)."""
-        graph, partition = case
         for resync in (False, True):
             system = SpiSystem.compile(
-                graph,
-                partition,
+                case.graph,
+                case.partition,
                 SpiConfig(
                     protocol_policy="always_ubs",
                     ubs_window=2,

@@ -6,21 +6,7 @@ from repro.dataflow import DataflowGraph
 from repro.mapping import Partition
 from repro.mpi import MpiConfig, MpiSystem, mpi_engine_cost
 from repro.spi import SpiSystem
-
-
-def pipeline(payload_rate=1, token_bytes=4, cycles=(10, 20, 5)):
-    graph = DataflowGraph("pipe")
-    a = graph.actor("A", cycles=cycles[0])
-    b = graph.actor("B", cycles=cycles[1])
-    c = graph.actor("C", cycles=cycles[2])
-    a.add_output("o", rate=payload_rate, token_bytes=token_bytes)
-    b.add_input("i", rate=payload_rate, token_bytes=token_bytes)
-    b.add_output("o", rate=payload_rate, token_bytes=token_bytes)
-    c.add_input("i", rate=payload_rate, token_bytes=token_bytes)
-    graph.connect((a, "o"), (b, "i"))
-    graph.connect((b, "o"), (c, "i"))
-    partition = Partition.manual(graph, {"A": 0, "B": 1, "C": 0})
-    return graph, partition
+from tests.conftest import build_payload_pipeline as pipeline
 
 
 class TestCompile:

@@ -97,8 +97,74 @@ class TestPESequencer:
         gate = [False]
         seq = PESequencer(sim, pe, [StubTask("t", gate=gate)], iterations=1)
         seq.begin()
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            sim.run()
+        # the message names the PE and the parked task
+        assert "PE0" in str(excinfo.value)
+        assert "blocked on task 't'" in str(excinfo.value)
+
+    def test_deadlock_message_includes_task_reason(self):
+        """Tasks exposing ``blocked_reason`` get it appended — the
+        mechanism the SPI/MPI tasks use to name the starved channel."""
+
+        class ChannelTask(StubTask):
+            def blocked_reason(self, now):
+                return "waiting for a message on channel 'A.o->B.i'"
+
+        sim = Simulator()
+        pe = ProcessingElement(1)
+        task = ChannelTask("recv", gate=[False])
+        seq = PESequencer(sim, pe, [task], iterations=1)
+        seq.begin()
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "PE1" in message
+        assert "waiting for a message on channel 'A.o->B.i'" in message
+
+    def test_deadlock_message_tolerates_broken_reason(self):
+        """A faulty ``blocked_reason`` must not mask the deadlock."""
+
+        class BadReasonTask(StubTask):
+            def blocked_reason(self, now):
+                raise RuntimeError("diagnosis failed")
+
+        sim = Simulator()
+        pe = ProcessingElement(0)
+        seq = PESequencer(
+            sim, pe, [BadReasonTask("t", gate=[False])], iterations=1
+        )
+        seq.begin()
         with pytest.raises(SimulationDeadlock, match="blocked on task"):
             sim.run()
+
+    def test_spi_deadlock_names_pe_and_channel(self):
+        """End to end: an SPI receiver whose producer never sends tokens
+        deadlocks with a message naming its PE and the starved channel."""
+        from repro.dataflow import DataflowGraph
+        from repro.mapping import Partition
+        from repro.spi import SpiSystem
+
+        graph = DataflowGraph("starved")
+
+        def silent(k, inputs):
+            return {"o": []}  # violates its declared rate: B starves
+
+        def sink(k, inputs):
+            return {}
+
+        a = graph.actor("A", kernel=silent, cycles=5)
+        b = graph.actor("B", kernel=sink, cycles=5)
+        a.add_output("o")
+        b.add_input("i")
+        graph.connect((a, "o"), (b, "i"))
+        partition = Partition.manual(graph, {"A": 0, "B": 1})
+        system = SpiSystem.compile(graph, partition)
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            system.run(iterations=2)
+        message = str(excinfo.value)
+        assert "PE1" in message
+        assert "A.o->B.i" in message  # the channel it is blocked on
 
     def test_notify_unblocks(self):
         sim = Simulator()

@@ -5,33 +5,7 @@ import pytest
 from repro.dataflow import DataflowGraph, DynamicRate
 from repro.mapping import Partition
 from repro.spi import Protocol, SpiConfig, SpiSystem
-
-
-def pipeline_graph(collect=None, cycles=(10, 20, 5)):
-    """A -> B -> C with functional kernels (source, square, sink)."""
-    graph = DataflowGraph("pipe")
-
-    def src(k, inputs):
-        return {"o": [k + 1]}
-
-    def square(k, inputs):
-        return {"o": [inputs["i"][0] ** 2]}
-
-    def sink(k, inputs):
-        if collect is not None:
-            collect.append(inputs["i"][0])
-        return {}
-
-    a = graph.actor("A", kernel=src, cycles=cycles[0])
-    b = graph.actor("B", kernel=square, cycles=cycles[1])
-    c = graph.actor("C", kernel=sink, cycles=cycles[2])
-    a.add_output("o")
-    b.add_input("i")
-    b.add_output("o")
-    c.add_input("i")
-    graph.connect((a, "o"), (b, "i"))
-    graph.connect((b, "o"), (c, "i"))
-    return graph
+from tests.conftest import build_pipeline_graph as pipeline_graph
 
 
 class TestCompile:

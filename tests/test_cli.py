@@ -118,3 +118,82 @@ class TestRunCommand:
             ["run", "--app", "pf", "--pes", "2", "--iterations", "4"]
         ) == 0
         assert "channels:" in capsys.readouterr().out
+
+
+class TestRunErrorPaths:
+    def test_missing_app_name_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--pes", "2"])
+        assert excinfo.value.code == 2
+        assert "--app" in capsys.readouterr().err
+
+    def test_unknown_app_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--app", "sonar"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_pes(self, capsys):
+        assert main(["run", "--app", "lpc", "--pes", "0"]) == 2
+        assert "--pes" in capsys.readouterr().err
+
+    def test_negative_pes(self, capsys):
+        assert main(["run", "--app", "chain", "--pes", "-3"]) == 2
+        assert "--pes" in capsys.readouterr().err
+
+    def test_bad_transport_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--app", "lpc", "--transport", "pigeon"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestConformCommand:
+    def test_small_campaign_passes(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "report.json"
+        code = main(
+            [
+                "conform",
+                "--seeds", "3",
+                "--quick",
+                "--iterations", "2",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checked 3 seed(s)" in out
+        assert "0 failing" in out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro.conformance/1"
+        assert report["bench"]["schema"] == "repro.bench/1"
+
+    def test_replay_single_seed(self, capsys):
+        assert main(["conform", "--replay", "5", "--quick"]) == 0
+        assert "[5..5]" in capsys.readouterr().out
+
+    def test_replay_conflicts_with_seeds(self, capsys):
+        assert main(["conform", "--replay", "5", "--seeds", "10"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_shape_rejected(self, capsys):
+        assert main(["conform", "--seeds", "1", "--shape", "bogus=3"]) == 2
+        assert "unknown shape knob" in capsys.readouterr().err
+
+    def test_bad_seed_count_rejected(self, capsys):
+        assert main(["conform", "--seeds", "0"]) == 2
+        assert "seeds" in capsys.readouterr().err
+
+    def test_shape_override_applies(self, capsys):
+        assert main(
+            [
+                "conform",
+                "--seeds", "2",
+                "--quick",
+                "--iterations", "2",
+                "--shape", "max_actors=3,dynamic_prob=0.0",
+            ]
+        ) == 0
+        assert "checked 2 seed(s)" in capsys.readouterr().out

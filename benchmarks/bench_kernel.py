@@ -1,0 +1,337 @@
+"""Kernel micro-benchmarks: targeted waitset wakeups vs broadcast retry.
+
+Unlike the figure benches, this suite measures the *simulation kernel*
+itself, not the modelled application: synthetic wide/deep/contended
+task graphs built directly on :class:`~repro.platform.simulator
+.Simulator` stress the park/wakeup machinery, and every workload runs
+under both disciplines (``wakeups="targeted"`` vs ``"broadcast"``) so
+the speedup of the waitset kernel is recorded, not assumed.
+
+Workloads:
+
+* **wide** — N independent producer->consumer PE pairs.  Broadcast
+  re-evaluates every parked consumer on every completion anywhere;
+  targeted wakes only the pair's own consumer.
+* **deep** — one N-stage pipeline.  Stages park often but only the
+  immediate downstream neighbour can progress.
+* **contended** — one producer feeding N consumers round-robin.  At any
+  instant N-1 consumers are parked on queues that did *not* change;
+  broadcast pays N guard re-evaluations per token, targeted pays one.
+
+The exported ``BENCH_kernel.json`` additionally records the end-to-end
+wall-clock of the fig6/fig7 application benches at their highest PE
+count under both disciplines — the "does the kernel win survive a real
+workload" check the CI perf-smoke job gates on.
+"""
+
+import time
+
+import pytest
+
+from conftest import QUICK, emit, save_bench_json
+from repro.platform import ProcessingElement, PESequencer, Simulator, Waitset
+from repro.spi import SpiSystem
+
+ITERATIONS = 40 if QUICK else 200
+WIDE_PAIRS = 16 if QUICK else 32
+DEEP_STAGES = 16 if QUICK else 32
+CONTENDED_CONSUMERS = 24 if QUICK else 48
+#: wall-clock repeats per measurement (best-of, to shed scheduler noise)
+REPEATS = 2 if QUICK else 3
+
+
+class TokenQueue:
+    """Minimal counting channel with a waitset (the bench's only resource)."""
+
+    __slots__ = ("name", "tokens", "waitset")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tokens = 0
+        self.waitset = Waitset(name)
+
+    def push(self) -> None:
+        self.tokens += 1
+        self.waitset.wake()
+
+    def pop(self) -> None:
+        if self.tokens <= 0:
+            raise RuntimeError(f"queue {self.name}: pop on empty")
+        self.tokens -= 1
+
+
+class ProduceTask:
+    """Unconditionally-ready task depositing into one or more queues."""
+
+    def __init__(self, name, queues, cycles, sim, round_robin=False):
+        self.name = name
+        self.queues = list(queues)
+        self.cycles = cycles
+        self.sim = sim
+        self.round_robin = round_robin
+        self._count = 0
+
+    def ready(self, now):
+        return True
+
+    def start(self, now):
+        return self.cycles
+
+    def finish(self, now):
+        if self.round_robin:
+            targets = [self.queues[self._count % len(self.queues)]]
+        else:
+            targets = self.queues
+        self._count += 1
+        for queue in targets:
+            queue.push()
+        self.sim.notify()
+
+
+class ConsumeTask:
+    """Parks until its input queue holds a token; optionally forwards."""
+
+    def __init__(self, name, in_queue, cycles, sim, out_queue=None):
+        self.name = name
+        self.in_queue = in_queue
+        self.out_queue = out_queue
+        self.cycles = cycles
+        self.sim = sim
+
+    def ready(self, now):
+        return self.in_queue.tokens > 0
+
+    def wait_on(self, now):
+        return [self.in_queue.waitset]
+
+    def start(self, now):
+        self.in_queue.pop()
+        return self.cycles
+
+    def finish(self, now):
+        if self.out_queue is not None:
+            self.out_queue.push()
+        self.sim.notify()
+
+
+def _run(build, wakeups: str) -> dict:
+    """Build and drain one synthetic graph; return kernel statistics."""
+    best_wall = None
+    stats = None
+    for _ in range(REPEATS):
+        sim = Simulator(wakeups=wakeups)
+        sequencers = build(sim)
+        for sequencer in sequencers:
+            sequencer.begin()
+        start = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            stats = sim
+    events = stats.events_processed
+    total_wakeups = stats.total_wakeups
+    return {
+        "wakeups": wakeups,
+        "wall_seconds": best_wall,
+        "events_processed": events,
+        "events_per_second": events / best_wall if best_wall > 0 else 0.0,
+        "parks": stats.parks,
+        "retry_rounds": stats.retry_rounds,
+        "targeted_wakeups": stats.targeted_wakeups,
+        "broadcast_wakeups": stats.broadcast_wakeups,
+        "spurious_wakeups": stats.spurious_wakeups,
+        "total_wakeups": total_wakeups,
+        "wakeups_per_event": total_wakeups / events if events else 0.0,
+        "parks_per_event": stats.parks / events if events else 0.0,
+        "spurious_fraction": (
+            stats.spurious_wakeups / total_wakeups if total_wakeups else 0.0
+        ),
+    }
+
+
+def _sequencer(sim, index, tasks):
+    pe = ProcessingElement(index=index, name=f"PE{index}")
+    return PESequencer(sim, pe, tasks, iterations=ITERATIONS)
+
+
+def build_wide(sim):
+    """N independent producer->consumer pairs on 2N PEs."""
+    sequencers = []
+    for i in range(WIDE_PAIRS):
+        queue = TokenQueue(f"wide{i}")
+        producer = ProduceTask(f"prod{i}", [queue], cycles=3 + i % 5, sim=sim)
+        consumer = ConsumeTask(f"cons{i}", queue, cycles=2 + i % 3, sim=sim)
+        sequencers.append(_sequencer(sim, 2 * i, [producer]))
+        sequencers.append(_sequencer(sim, 2 * i + 1, [consumer]))
+    return sequencers
+
+
+def build_deep(sim):
+    """One pipeline of N stages, each on its own PE."""
+    queues = [TokenQueue(f"deep{i}") for i in range(DEEP_STAGES)]
+    sequencers = [
+        _sequencer(
+            sim, 0, [ProduceTask("source", [queues[0]], cycles=4, sim=sim)]
+        )
+    ]
+    for i in range(DEEP_STAGES):
+        out_queue = queues[i + 1] if i + 1 < DEEP_STAGES else None
+        stage = ConsumeTask(
+            f"stage{i}", queues[i], cycles=4, sim=sim, out_queue=out_queue
+        )
+        sequencers.append(_sequencer(sim, i + 1, [stage]))
+    return sequencers
+
+
+def build_contended(sim):
+    """One producer feeding N consumers round-robin: the broadcast
+    worst case (every token re-evaluates all N parked guards)."""
+    queues = [TokenQueue(f"cont{i}") for i in range(CONTENDED_CONSUMERS)]
+    producer = ProduceTask(
+        "producer", queues, cycles=1, sim=sim, round_robin=True
+    )
+    source = PESequencer(
+        sim,
+        ProcessingElement(index=0, name="PE0"),
+        [producer],
+        iterations=ITERATIONS * CONTENDED_CONSUMERS,
+    )
+    sequencers = [source]
+    for i, queue in enumerate(queues):
+        consumer = ConsumeTask(f"cons{i}", queue, cycles=2, sim=sim)
+        sequencers.append(_sequencer(sim, i + 1, [consumer]))
+    return sequencers
+
+
+WORKLOADS = {
+    "wide": build_wide,
+    "deep": build_deep,
+    "contended": build_contended,
+}
+
+
+@pytest.fixture(scope="module")
+def kernel_sweep():
+    return {
+        (name, wakeups): _run(build, wakeups)
+        for name, build in WORKLOADS.items()
+        for wakeups in ("targeted", "broadcast")
+    }
+
+
+def _speedup(sweep, name: str) -> float:
+    return (
+        sweep[(name, "targeted")]["events_per_second"]
+        / sweep[(name, "broadcast")]["events_per_second"]
+    )
+
+
+def test_kernel_report(kernel_sweep):
+    rows = ["workload    discipline  events/s      wakeups/evt  spurious"]
+    for (name, wakeups), stats in sorted(kernel_sweep.items()):
+        rows.append(
+            f"{name:<11} {wakeups:<11} {stats['events_per_second']:>12.0f}"
+            f"  {stats['wakeups_per_event']:>11.3f}"
+            f"  {stats['spurious_fraction']:>8.3f}"
+        )
+    for name in WORKLOADS:
+        rows.append(f"{name}: targeted/broadcast = {_speedup(kernel_sweep, name):.2f}x")
+    emit("Kernel wakeup disciplines", "\n".join(rows))
+
+
+def test_kernel_results_identical_across_disciplines(kernel_sweep):
+    """Same simulation, different kernel: parks and delivered work match
+    in structure (both drain all iterations; wakeup mix differs)."""
+    for name in WORKLOADS:
+        targeted = kernel_sweep[(name, "targeted")]
+        broadcast = kernel_sweep[(name, "broadcast")]
+        assert targeted["broadcast_wakeups"] == 0
+        assert broadcast["targeted_wakeups"] == 0
+        assert broadcast["retry_rounds"] > 0
+
+
+def test_kernel_targeted_wakes_less(kernel_sweep):
+    """The point of the waitset kernel: far fewer guard re-evaluations."""
+    for name in WORKLOADS:
+        targeted = kernel_sweep[(name, "targeted")]
+        broadcast = kernel_sweep[(name, "broadcast")]
+        assert targeted["total_wakeups"] < broadcast["total_wakeups"]
+        assert targeted["spurious_fraction"] <= broadcast["spurious_fraction"]
+
+
+def test_kernel_contended_speedup(kernel_sweep):
+    """The contended workload must show a decisive targeted win.  The
+    committed baseline records >= 2x; the in-test gate is looser so a
+    noisy CI runner cannot flake it."""
+    assert _speedup(kernel_sweep, "contended") >= 1.5
+
+
+def _fig6_wall(wakeups: str) -> float:
+    from repro.apps.lpc import build_parallel_error_graph, frame_stream
+
+    size = 256 if QUICK else 512
+    frames = frame_stream(total_samples=2 * size, frame_size=size)
+    system = build_parallel_error_graph(frames, order=8, n_units=4)
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    start = time.perf_counter()
+    compiled.run(iterations=3 if QUICK else 5, wakeups=wakeups)
+    return time.perf_counter() - start
+
+
+def _fig7_wall(wakeups: str) -> float:
+    from repro.apps.particle_filter import (
+        CrackGrowthModel,
+        simulate_crack_history,
+    )
+    from repro.apps.particle_filter import build_particle_filter_graph
+
+    model = CrackGrowthModel()
+    _, observations = simulate_crack_history(model, steps=8, seed=7)
+    system = build_particle_filter_graph(
+        model,
+        observations,
+        n_particles=150 if QUICK else 300,
+        n_pes=2,
+    )
+    compiled = SpiSystem.compile(system.graph, system.partition)
+    start = time.perf_counter()
+    compiled.run(iterations=4 if QUICK else 6, wakeups=wakeups)
+    return time.perf_counter() - start
+
+
+def test_kernel_bench_export(kernel_sweep):
+    """Emit BENCH_kernel.json: all workloads x disciplines plus the
+    fig6/fig7 wall-clock before/after at their highest PE counts."""
+    fig_walls = {}
+    for fig, measure_wall in (("fig6", _fig6_wall), ("fig7", _fig7_wall)):
+        walls = {w: min(measure_wall(w) for _ in range(REPEATS))
+                 for w in ("targeted", "broadcast")}
+        fig_walls[fig] = {
+            "targeted_wall_seconds": walls["targeted"],
+            "broadcast_wall_seconds": walls["broadcast"],
+            "speedup": (
+                walls["broadcast"] / walls["targeted"]
+                if walls["targeted"] > 0
+                else 0.0
+            ),
+        }
+
+    contended = kernel_sweep[("contended", "targeted")]
+    path = save_bench_json(
+        "kernel",
+        makespan_cycles=contended["events_processed"],
+        iteration_period_cycles=0.0,
+        wall_seconds=contended["wall_seconds"],
+        extra={
+            "workloads": {
+                f"{name}/{wakeups}": stats
+                for (name, wakeups), stats in kernel_sweep.items()
+            },
+            "speedups": {
+                name: _speedup(kernel_sweep, name) for name in WORKLOADS
+            },
+            "applications": fig_walls,
+        },
+    )
+    assert path.exists()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Gate the kernel benchmark against its committed baseline.
+
+Usage::
+
+    python benchmarks/check_kernel_regression.py BASELINE.json CURRENT.json
+
+Two gates, strongest applicable wins:
+
+* **contended floor** (always) — the contended workload's
+  targeted/broadcast events-per-second ratio must stay >= 2x.  The
+  ratio is machine-independent (both disciplines run on the same box)
+  and holds in both quick and full mode, so it is the one gate a quick
+  CI run can apply against the committed full-mode baseline.
+* **per-workload comparison** (same-mode runs only) — when baseline and
+  current were produced with the same ``quick`` flag, neither the
+  speedup ratio nor the absolute targeted events/sec of any workload
+  may regress by more than the tolerance.  Quick-vs-full pairs skip
+  this (the win grows with workload size, so the numbers are
+  incomparable) and rely on the floor.
+
+Exit status 0 = pass, 1 = regression, 2 = unusable input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: fraction of the baseline a metric may lose before the gate fails
+TOLERANCE = 0.20
+
+#: the contended workload must keep this absolute targeted/broadcast win
+CONTENDED_FLOOR = 2.0
+
+
+def _load(path: str) -> dict:
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != "repro.bench/1" or document.get("name") != "kernel":
+        raise ValueError(f"{path}: not a kernel bench document")
+    return document
+
+
+def check(baseline: dict, current: dict) -> list:
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    base_speedups = baseline["extra"]["speedups"]
+    cur_speedups = current["extra"]["speedups"]
+
+    contended = cur_speedups.get("contended", 0.0)
+    if contended < CONTENDED_FLOOR:
+        failures.append(
+            f"contended targeted/broadcast speedup {contended:.2f}x fell "
+            f"below the {CONTENDED_FLOOR:.1f}x floor"
+        )
+
+    if baseline.get("quick") == current.get("quick"):
+        for name, base in sorted(base_speedups.items()):
+            cur = cur_speedups.get(name)
+            if cur is None:
+                failures.append(f"workload {name!r} missing from current run")
+                continue
+            if cur < base * (1.0 - TOLERANCE):
+                failures.append(
+                    f"{name}: speedup ratio regressed {base:.2f}x -> "
+                    f"{cur:.2f}x (> {TOLERANCE:.0%} loss)"
+                )
+        base_workloads = baseline["extra"]["workloads"]
+        cur_workloads = current["extra"]["workloads"]
+        for key, base_stats in sorted(base_workloads.items()):
+            if not key.endswith("/targeted"):
+                continue
+            cur_stats = cur_workloads.get(key)
+            if cur_stats is None:
+                failures.append(f"workload {key!r} missing from current run")
+                continue
+            base_eps = base_stats["events_per_second"]
+            cur_eps = cur_stats["events_per_second"]
+            if cur_eps < base_eps * (1.0 - TOLERANCE):
+                failures.append(
+                    f"{key}: events/sec regressed {base_eps:.0f} -> "
+                    f"{cur_eps:.0f} (> {TOLERANCE:.0%} loss)"
+                )
+    else:
+        print(
+            "note: baseline/current quick flags differ; per-workload "
+            "comparison skipped (contended floor still applies)"
+        )
+    return failures
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        baseline = _load(argv[1])
+        current = _load(argv[2])
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}")
+        return 2
+    failures = check(baseline, current)
+    if failures:
+        print("kernel benchmark regression:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "kernel benchmark OK: contended speedup "
+        f"{current['extra']['speedups']['contended']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

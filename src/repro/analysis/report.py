@@ -212,5 +212,9 @@ def render_metrics_summary(document: Dict) -> str:
         f"wire bytes by kind: {split_text}",
         f"simulator: {sim['events_processed']} events, {sim['parks']} parks, "
         f"{sim['retry_rounds']} retry rounds",
+        f"wakeups ({sim.get('wakeup_policy', 'targeted')}): "
+        f"{sim.get('targeted_wakeups', 0)} targeted, "
+        f"{sim.get('broadcast_wakeups', 0)} broadcast, "
+        f"{sim.get('spurious_wakeups', 0)} spurious",
     ]
     return "\n".join(lines)

@@ -189,7 +189,11 @@ def run_oracle_stack(
         try:
             system = SpiSystem.compile(case.graph, case.partition, config)
             case.tap.begin(label)
-            result = system.run(iterations=iterations, max_cycles=max_cycles)
+            result = system.run(
+                iterations=iterations,
+                max_cycles=max_cycles,
+                check_lost_wakeups=True,
+            )
         except Exception as exc:
             report.violations.append(
                 Violation("execution", label, f"{type(exc).__name__}: {exc}")
@@ -280,7 +284,9 @@ def run_oracle_stack(
         mpi_system = MpiSystem.compile(case.graph, case.partition)
         case.tap.begin("mpi")
         mpi_result = mpi_system.run(
-            iterations=iterations, max_cycles=max_cycles
+            iterations=iterations,
+            max_cycles=max_cycles,
+            check_lost_wakeups=True,
         )
     except Exception as exc:
         report.violations.append(

@@ -36,7 +36,7 @@ from repro.platform.clock import DEFAULT_CLOCK, ClockDomain
 from repro.platform.fpga import ResourceVector, estimate_datapath, estimate_fifo
 from repro.platform.interconnect import Interconnect, LinkSpec
 from repro.platform.pe import ProcessingElement
-from repro.platform.simulator import PESequencer, Simulator
+from repro.platform.simulator import PESequencer, Simulator, Waitset
 from repro.spi.actors import ComputationTask, LocalFifo, payload_nbytes
 from repro.spi.library import SpiInsertion, insert_spi_actors
 from repro.spi.runtime import RunResult
@@ -92,11 +92,15 @@ class _MpiChannel:
         self.arrived_data: Deque[tuple] = deque()  # (payload list, nbytes)
         self.arrived_rts: int = 0
         self.cts_pending: Deque[Callable[[], None]] = deque()
+        #: a rendezvous receiver mid-handshake waiting for the payload
+        self.data_pending: Deque[Callable[[], None]] = deque()
         self.unexpected_high_water = 0
         self.data_messages = 0
         self.control_messages = 0
         self.payload_bytes = 0
         self.envelope_bytes_total = 0
+        #: woken when a message or RTS envelope lands (unblocks MPI_Recv)
+        self.recv_waitset = Waitset(f"{edge.name}.mpi_recv")
 
     def deliver_data(self, payload: List, nbytes: int, envelope: int) -> None:
         self.arrived_data.append((payload, nbytes))
@@ -105,11 +109,16 @@ class _MpiChannel:
         self.envelope_bytes_total += envelope
         if len(self.arrived_data) > self.unexpected_high_water:
             self.unexpected_high_water = len(self.arrived_data)
+        if self.data_pending:
+            resume = self.data_pending.popleft()
+            resume()
+        self.recv_waitset.wake()
 
     def deliver_rts(self, envelope: int) -> None:
         self.arrived_rts += 1
         self.control_messages += 1
         self.envelope_bytes_total += envelope
+        self.recv_waitset.wake()
 
     def deliver_cts(self, envelope: int) -> None:
         self.control_messages += 1
@@ -153,6 +162,12 @@ class _MpiSendTask:
                 f"(has {len(self.in_fifo)}, needs {self.rate})"
             )
         return None
+
+    def wait_on(self, now: int) -> List[Waitset]:
+        """Waitsets of the resources currently blocking the guard."""
+        if len(self.in_fifo) < self.rate:
+            return [self.in_fifo.waitset]
+        return []
 
     def _copy_cycles(self, nbytes: int) -> int:
         words = (nbytes + self.config.word_bytes - 1) // self.config.word_bytes
@@ -258,6 +273,10 @@ class _MpiRecvTask:
             )
         return None
 
+    def wait_on(self, now: int) -> List[Waitset]:
+        """Waitsets of the resources currently blocking the guard."""
+        return [self.channel.recv_waitset]
+
     def _copy_cycles(self, nbytes: int) -> int:
         words = (nbytes + self.config.word_bytes - 1) // self.config.word_bytes
         return words * self.config.copy_cycles_per_word
@@ -282,15 +301,17 @@ class _MpiRecvTask:
 
         sim.at(cts_arrival, cts_arrive)
 
-        def wait_for_data() -> None:
-            if channel.arrived_data:
-                _, nbytes = channel.arrived_data[0]
-                assert self.complete_async is not None
-                sim.after(self._copy_cycles(nbytes), self.complete_async)
-            else:
-                sim.after(1, wait_for_data)
+        def data_ready() -> None:
+            _, nbytes = channel.arrived_data[0]
+            assert self.complete_async is not None
+            sim.after(self._copy_cycles(nbytes), self.complete_async)
 
-        wait_for_data()
+        # The payload lands strictly after the CTS round trip; register
+        # for its delivery instead of polling the channel every cycle.
+        if channel.arrived_data:
+            data_ready()
+        else:
+            channel.data_pending.append(data_ready)
         return None
 
     def finish(self, now: int) -> None:
@@ -358,10 +379,16 @@ class MpiSystem:
             channel_modes=modes,
         )
 
-    def run(self, iterations: int = 1, max_cycles: Optional[int] = None) -> RunResult:
+    def run(
+        self,
+        iterations: int = 1,
+        max_cycles: Optional[int] = None,
+        wakeups: str = "targeted",
+        check_lost_wakeups: bool = False,
+    ) -> RunResult:
         if iterations < 1:
             raise GraphError("iterations must be >= 1")
-        sim = Simulator()
+        sim = Simulator(wakeups=wakeups, check_lost_wakeups=check_lost_wakeups)
         interconnect = Interconnect(default_spec=self.config.link_spec)
         graph = self.insertion.graph
 

@@ -20,7 +20,10 @@ Metrics JSON schema (``repro.metrics/1``)::
       "schema": "repro.metrics/1",
       "run": {"cycles", "iterations", "iteration_period_cycles",
               "execution_time_us", "mcm_bound_cycles"},
-      "simulator": {"events_processed", "parks", "retry_rounds"},
+      "simulator": {"events_processed", "parks", "retry_rounds",
+                    "wakeup_policy", "targeted_wakeups",
+                    "broadcast_wakeups", "spurious_wakeups",
+                    "total_wakeups"},
       "pes": [{"index", "name", "busy_cycles", "blocked_cycles",
                "firings", "blocked_events", "utilization",
                "blocked_by_task": {task: cycles}}],
@@ -33,6 +36,7 @@ Metrics JSON schema (``repro.metrics/1``)::
                     "header_bytes", "ack_bytes",
                     "full_stall_cycles", "empty_stall_cycles"}],
       "transport": {"type", "messages", "bytes",
+                    "fast_path_deliveries",
                     "channels": [{"channel", "messages", "bytes",
                                   "queueing_cycles", "contention_cycles"}]},
       "sync_pools": [{"name", "messages_sent", "high_water"}],
@@ -135,6 +139,10 @@ def build_metrics_document(
         "type": type(transport).__name__,
         "messages": transport.messages,
         "bytes": transport.bytes,
+        # point-to-point only; buses always schedule through the heap
+        "fast_path_deliveries": getattr(
+            transport, "fast_path_deliveries", 0
+        ),
         "channels": [
             {
                 "channel": str(key),
@@ -162,6 +170,11 @@ def build_metrics_document(
             "events_processed": sim.events_processed,
             "parks": sim.parks,
             "retry_rounds": sim.retry_rounds,
+            "wakeup_policy": sim.wakeups,
+            "targeted_wakeups": sim.targeted_wakeups,
+            "broadcast_wakeups": sim.broadcast_wakeups,
+            "spurious_wakeups": sim.spurious_wakeups,
+            "total_wakeups": sim.total_wakeups,
         },
         "pes": pe_entries,
         "channels": channel_entries,
@@ -239,6 +252,19 @@ def validate_metrics(document: Dict[str, object]) -> None:
             raise MetricsValidationError(
                 f"{pe['name']}: per-task blocked cycles ({attributed}) "
                 f"exceed the PE total ({pe['blocked_cycles']})"
+            )
+    sim = document["simulator"]
+    if "total_wakeups" in sim:
+        split_sum = sim["targeted_wakeups"] + sim["broadcast_wakeups"]
+        if sim["total_wakeups"] != split_sum:
+            raise MetricsValidationError(
+                f"simulator: total_wakeups {sim['total_wakeups']} != "
+                f"targeted + broadcast ({split_sum})"
+            )
+        if sim["spurious_wakeups"] > sim["total_wakeups"]:
+            raise MetricsValidationError(
+                f"simulator: spurious_wakeups {sim['spurious_wakeups']} "
+                f"exceed total_wakeups {sim['total_wakeups']}"
             )
 
 

@@ -20,10 +20,12 @@ from repro.platform.memory import (
 )
 from repro.platform.pe import ProcessingElement
 from repro.platform.simulator import (
+    LostWakeupError,
     PESequencer,
     SimulationDeadlock,
     Simulator,
     Task,
+    Waitset,
 )
 from repro.platform.trace import TraceEvent, TraceRecorder
 
@@ -46,9 +48,11 @@ __all__ = [
     "BufferUnderflowError",
     "ProcessingElement",
     "PESequencer",
+    "LostWakeupError",
     "SimulationDeadlock",
     "Simulator",
     "Task",
+    "Waitset",
     "TraceEvent",
     "TraceRecorder",
 ]

@@ -10,13 +10,31 @@ blocking/retry discipline for sequencers.
   the self-timed execution model of the paper: assignment and order are
   fixed at compile time, firing instants resolve at run time from data
   availability).
-* When a task's guard fails the sequencer parks; any state change in the
-  system (:meth:`Simulator.notify`) re-evaluates parked sequencers at
-  the current simulation time.
+* When a task's guard fails the sequencer parks.  Tasks that implement
+  the optional ``wait_on()`` hook name the :class:`Waitset` objects of
+  the resources they are blocked on (a starved channel, an empty sync
+  pool, an exhausted credit window); the sequencer then subscribes to
+  those waitsets and is woken **only** when one of them signals — the
+  *targeted* wakeup path.  Tasks without ``wait_on`` fall back to the
+  broadcast discipline: any state change (:meth:`Simulator.notify`)
+  re-evaluates every broadcast-parked sequencer at the current time.
+
+The targeted path is what makes large simulations cheap: with the
+broadcast discipline every event re-evaluates every parked guard
+(O(parked x events)); with waitsets a state change touches exactly the
+sequencers that can make progress.  The ordering contract is unchanged:
+wakeups are delivered through the event heap at the current simulation
+time, after the mutating event completes, in subscription order.
 
 Deadlock (all sequencers parked, no events pending) raises
 :class:`SimulationDeadlock` with a description of every blocked task —
-invaluable when a protocol is mis-wired.
+invaluable when a protocol is mis-wired.  If a parked sequencer's guard
+actually *holds* at deadlock time, the kernel raises
+:class:`LostWakeupError` instead: some resource changed state without
+waking its waitset, which is a kernel-integration bug, never an
+application deadlock.  ``Simulator(check_lost_wakeups=True)`` (used by
+the conformance oracles) additionally audits every wakeup round for
+ready-but-unwoken sequencers instead of waiting for the deadlock.
 """
 
 from __future__ import annotations
@@ -27,11 +45,29 @@ from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.platform.pe import ProcessingElement
 
-__all__ = ["Task", "Simulator", "PESequencer", "SimulationDeadlock"]
+__all__ = [
+    "Task",
+    "Waitset",
+    "Simulator",
+    "PESequencer",
+    "SimulationDeadlock",
+    "LostWakeupError",
+]
 
 
 class SimulationDeadlock(RuntimeError):
     """All sequencers blocked with no pending events."""
+
+
+class LostWakeupError(RuntimeError):
+    """A resource changed state without waking its waitset.
+
+    Raised when a sequencer parked on waitsets has a passing guard but
+    was never woken — i.e. some resource mutation forgot to call
+    :meth:`Waitset.wake`.  This is a kernel/task integration bug, and is
+    kept distinct from :class:`SimulationDeadlock` (a property of the
+    simulated application) so conformance campaigns can tell them apart.
+    """
 
 
 class Task(Protocol):
@@ -55,19 +91,93 @@ class Task(Protocol):
         """Perform end-of-execution effects (produce tokens, send, ...)."""
 
 
-class Simulator:
-    """Event heap + parked-sequencer bookkeeping."""
+class Waitset:
+    """Sequencers parked on one resource, woken when it changes state.
 
-    def __init__(self) -> None:
+    A resource (channel, sync pool, FIFO, transport) owns one waitset
+    per unblocking condition — e.g. an SPI channel has a *data* waitset
+    (a message arrived, the receiver may proceed) and a *space* waitset
+    (an ack restored a credit, the sender may proceed).  Subscriptions
+    are epoch-stamped: a sequencer that parks on several waitsets and is
+    woken through one leaves stale entries in the others, which
+    :meth:`wake` discards by comparing epochs.
+    """
+
+    __slots__ = ("name", "_waiters", "wakes")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Tuple["PESequencer", int]] = []
+        #: wake() calls that found at least one live waiter
+        self.wakes = 0
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def subscribe(self, sequencer: "PESequencer") -> None:
+        self._waiters.append((sequencer, sequencer.wait_epoch))
+
+    def wake(self) -> None:
+        """Schedule a targeted wakeup for every live subscriber."""
+        if not self._waiters:
+            return
+        waiters, self._waiters = self._waiters, []
+        woke = False
+        for sequencer, epoch in waiters:
+            if sequencer.wait_epoch == epoch:
+                sequencer.sim._schedule_wake(sequencer)
+                woke = True
+        if woke:
+            self.wakes += 1
+
+    def __repr__(self) -> str:
+        return f"Waitset({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Simulator:
+    """Event heap + parked-sequencer bookkeeping.
+
+    ``wakeups`` selects the parking discipline: ``"targeted"`` (the
+    default) uses per-resource waitsets for tasks that declare them and
+    broadcast for the rest; ``"broadcast"`` forces every park onto the
+    broadcast retry path (the pre-waitset kernel — kept for A/B
+    benchmarking and as the conformance reference).
+    ``check_lost_wakeups`` audits every wakeup round for ready-but-
+    unwoken targeted sequencers (see :class:`LostWakeupError`).
+    """
+
+    def __init__(
+        self,
+        wakeups: str = "targeted",
+        check_lost_wakeups: bool = False,
+    ) -> None:
+        if wakeups not in ("targeted", "broadcast"):
+            raise ValueError(f"unknown wakeup discipline {wakeups!r}")
         self.now = 0
+        self.wakeups = wakeups
+        self.check_lost_wakeups = check_lost_wakeups
         self._heap: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._parked: List["PESequencer"] = []
+        self._targeted: List["PESequencer"] = []
+        self._wake_queue: List["PESequencer"] = []
         self._retry_scheduled = False
+        self._wake_scheduled = False
         #: kernel counters (observability: exported into the metrics JSON)
         self.events_processed = 0
         self.parks = 0
         self.retry_rounds = 0
+        #: sequencer re-evaluations delivered through a waitset
+        self.targeted_wakeups = 0
+        #: sequencer re-evaluations delivered through the broadcast retry
+        self.broadcast_wakeups = 0
+        #: wakeups (either kind) whose guard still failed — the sequencer
+        #: re-parked without progress
+        self.spurious_wakeups = 0
+
+    @property
+    def total_wakeups(self) -> int:
+        return self.targeted_wakeups + self.broadcast_wakeups
 
     # -- events ---------------------------------------------------------------
 
@@ -85,15 +195,83 @@ class Simulator:
             raise ValueError("delay must be >= 0")
         self.at(self.now + delay, callback)
 
-    # -- parking / retry --------------------------------------------------------
+    # -- parking / wakeups ------------------------------------------------------
 
-    def park(self, sequencer: "PESequencer") -> None:
-        if sequencer not in self._parked:
+    def park(
+        self,
+        sequencer: "PESequencer",
+        waitsets: Optional[Sequence[Waitset]] = None,
+    ) -> None:
+        """Park ``sequencer`` until a wakeup.
+
+        With ``waitsets`` (and the targeted discipline) the sequencer
+        subscribes to exactly those resources; otherwise it joins the
+        broadcast-parked list swept by :meth:`notify`.
+        """
+        if sequencer.parked:
+            return
+        sequencer.parked = True
+        self.parks += 1
+        if waitsets and self.wakeups == "targeted":
+            sequencer.parked_targeted = True
+            if not sequencer._tracked:
+                sequencer._tracked = True
+                self._targeted.append(sequencer)
+            for waitset in waitsets:
+                waitset.subscribe(sequencer)
+        else:
             self._parked.append(sequencer)
-            self.parks += 1
+
+    def _schedule_wake(self, sequencer: "PESequencer") -> None:
+        """Queue a targeted wakeup; coalesces duplicates per round."""
+        if sequencer.wake_pending or not sequencer.parked:
+            return
+        sequencer.wake_pending = True
+        self._wake_queue.append(sequencer)
+        if not self._wake_scheduled:
+            self._wake_scheduled = True
+            self.at(self.now, self._drain_wakes)
+
+    def _drain_wakes(self) -> None:
+        self._wake_scheduled = False
+        queue, self._wake_queue = self._wake_queue, []
+        for sequencer in queue:
+            sequencer.wake_pending = False
+            self.targeted_wakeups += 1
+            sequencer._woken = True
+            sequencer.advance()
+        if self._targeted:
+            # prune sequencers that were woken (or finished) this round
+            kept = []
+            for sequencer in self._targeted:
+                if sequencer.parked_targeted:
+                    kept.append(sequencer)
+                else:
+                    sequencer._tracked = False
+            self._targeted = kept
+        if self.check_lost_wakeups:
+            self._audit_targeted()
+
+    def _audit_targeted(self) -> None:
+        """Assert no targeted-parked sequencer is ready but unwoken."""
+        for sequencer in self._targeted:
+            if sequencer.wake_pending or not sequencer.parked_targeted:
+                continue
+            task = sequencer.current
+            if task is not None and task.ready(self.now):
+                raise LostWakeupError(
+                    f"{sequencer.pe.name}: task {task.name!r} became ready "
+                    f"at t={self.now} but no waitset woke its sequencer "
+                    f"(lost wakeup)"
+                )
 
     def notify(self) -> None:
-        """State changed: re-evaluate parked sequencers at the current time."""
+        """State changed: re-evaluate broadcast-parked sequencers.
+
+        This is the fallback discipline for tasks without ``wait_on``;
+        under the targeted discipline the list is usually empty and the
+        call returns immediately.
+        """
         if self._retry_scheduled or not self._parked:
             return
         self._retry_scheduled = True
@@ -103,6 +281,8 @@ class Simulator:
             self.retry_rounds += 1
             parked, self._parked = self._parked, []
             for sequencer in parked:
+                self.broadcast_wakeups += 1
+                sequencer._woken = True
                 sequencer.advance()
 
         self.at(self.now, retry)
@@ -125,8 +305,20 @@ class Simulator:
             self.now = time
             self.events_processed += 1
             callback()
-        blocked = [s for s in self._parked if not s.done]
+        blocked = [s for s in self._parked if s.parked and not s.done]
+        blocked += [
+            s for s in self._targeted if s.parked_targeted and not s.done
+        ]
         if blocked:
+            blocked.sort(key=lambda s: s.pe.index)
+            for sequencer in blocked:
+                task = sequencer.current
+                if task is not None and task.ready(self.now):
+                    raise LostWakeupError(
+                        f"{sequencer.pe.name}: task {task.name!r} is ready "
+                        f"at t={self.now} but its sequencer was never woken "
+                        f"(lost wakeup)"
+                    )
             details = "; ".join(s.describe_block() for s in blocked)
             raise SimulationDeadlock(
                 f"simulation deadlocked at t={self.now}: {details}"
@@ -164,6 +356,28 @@ class PESequencer:
         self._running = False
         #: when the current task first failed its guard (None = not blocked)
         self._blocked_since: Optional[int] = None
+        #: parked in either discipline (O(1) membership, replaces the
+        #: kernel's old linear ``sequencer not in parked`` scan)
+        self.parked = False
+        #: parked with waitset subscriptions (targeted discipline)
+        self.parked_targeted = False
+        #: queued in the kernel's current wake round
+        self.wake_pending = False
+        #: bumped every time the sequencer leaves the parked state —
+        #: invalidates stale waitset subscriptions
+        self.wait_epoch = 0
+        #: membership flag for the kernel's targeted-parked list
+        self._tracked = False
+        #: the advance() call was delivered by a wakeup (spurious-wakeup
+        #: accounting: set by the kernel, cleared on entry to advance)
+        self._woken = False
+        # One completion closure per sequencer, reused across every task
+        # start (tasks of one PE strictly serialize, so a single slot is
+        # enough) — avoids two closure allocations per firing.
+        self._current_task: Optional[Task] = None
+        self._started_at = 0
+        self._complete_cb = self._complete
+        self._async_hook = self._install_async_complete
 
     def begin(self) -> None:
         """Arm the sequencer (schedule its first advance at t=0)."""
@@ -176,17 +390,28 @@ class PESequencer:
             return None
         return self.program[self.position]
 
+    def _unpark(self) -> None:
+        self.parked = False
+        self.parked_targeted = False
+        self.wait_epoch += 1
+
     def advance(self) -> None:
         """Try to start the current task; park on a failed guard."""
+        woken, self._woken = self._woken, False
         if self.done or self._running:
             return
+        if self.parked:
+            self._unpark()
         task = self.program[self.position]
         now = self.sim.now
         if not task.ready(now):
+            if woken:
+                self.sim.spurious_wakeups += 1
             if self._blocked_since is None:
                 self._blocked_since = now
             self.pe.record_block()
-            self.sim.park(self)
+            wait_on = getattr(task, "wait_on", None)
+            self.sim.park(self, wait_on(now) if wait_on is not None else None)
             return
         if self._blocked_since is not None:
             # The blocked interval ends now: attribute it to the task
@@ -195,33 +420,38 @@ class PESequencer:
                 task.name, now - self._blocked_since
             )
             self._blocked_since = None
-        started_at = now
+        self._current_task = task
+        self._started_at = now
         duration = task.start(now)
         self._running = True
-
-        def complete() -> None:
-            self._running = False
-            self.pe.record_execution(self.sim.now - started_at)
-            if self.trace is not None:
-                self.trace.record(
-                    pe=self.pe.index,
-                    task=task.name,
-                    start=started_at,
-                    end=self.sim.now,
-                    iteration=self.iteration,
-                )
-            task.finish(self.sim.now)
-            self._step()
-            self.sim.notify()
-            if not self.done:
-                self.advance()
-
         if duration is None:
             # Event-completed task (e.g. a blocking rendezvous send):
             # the task signals completion through this callback.
-            task.complete_async = lambda: self.sim.at(self.sim.now, complete)
+            task.complete_async = self._async_hook
         else:
-            self.sim.after(duration, complete)
+            self.sim.after(duration, self._complete_cb)
+
+    def _install_async_complete(self) -> None:
+        self.sim.at(self.sim.now, self._complete_cb)
+
+    def _complete(self) -> None:
+        task = self._current_task
+        self._current_task = None
+        self._running = False
+        self.pe.record_execution(self.sim.now - self._started_at)
+        if self.trace is not None:
+            self.trace.record(
+                pe=self.pe.index,
+                task=task.name,
+                start=self._started_at,
+                end=self.sim.now,
+                iteration=self.iteration,
+            )
+        task.finish(self.sim.now)
+        self._step()
+        self.sim.notify()
+        if not self.done:
+            self.advance()
 
     def _step(self) -> None:
         self.position += 1

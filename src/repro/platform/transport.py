@@ -25,6 +25,19 @@ remainder is time spent waiting for the compile-time slot).  An optional
 ``observer`` (an :class:`~repro.observability.collector
 .ObservabilityHub`) additionally receives every message's full life
 record for trace arrows and the data-vs-sync byte split.
+
+For the targeted-wakeup kernel every transport additionally exposes a
+``waitset`` (:class:`~repro.platform.simulator.Waitset`) that is woken
+each time the medium commits a delivery — a task whose guard depends on
+transport progress (e.g. a sender throttled by a busy medium) can name
+it from ``wait_on()`` and be re-evaluated exactly when a transfer lands
+instead of on every state change in the system.
+
+The point-to-point transport also has an **uncontended fast path**: a
+transfer whose link is idle and whose transfer time is zero cycles (an
+ideal ``LinkSpec(setup_cycles=0, cycles_per_word=0)`` link) is delivered
+inline, skipping the event-heap round trip entirely —
+``fast_path_deliveries`` counts them.
 """
 
 from __future__ import annotations
@@ -34,7 +47,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.platform.interconnect import Interconnect, LinkSpec
-from repro.platform.simulator import Simulator
+from repro.platform.simulator import Simulator, Waitset
 
 __all__ = [
     "ChannelTraffic",
@@ -62,6 +75,20 @@ class _TransportStats:
         self.bytes = 0
         self.per_channel: Dict[Hashable, ChannelTraffic] = {}
         self.observer = observer
+        #: woken on every committed delivery (targeted-wakeup kernel)
+        self.waitset = Waitset(f"transport:{type(self).__name__}")
+
+    def _schedule_delivery(
+        self, sim: Simulator, arrival: int, deliver: Callable[[], None]
+    ) -> None:
+        """Run ``deliver`` at ``arrival``, then wake the waitset."""
+        waitset = self.waitset
+
+        def dispatch() -> None:
+            deliver()
+            waitset.wake()
+
+        sim.at(arrival, dispatch)
 
     def _record(
         self,
@@ -105,6 +132,8 @@ class PointToPointTransport(_TransportStats):
     ) -> None:
         self.sim = sim
         self.interconnect = interconnect
+        #: transfers delivered inline (idle zero-latency link): no event
+        self.fast_path_deliveries = 0
         self._init_stats(observer)
 
     def send(
@@ -130,7 +159,16 @@ class PointToPointTransport(_TransportStats):
             contention=start - now,
             kind=kind,
         )
-        self.sim.at(arrival, deliver)
+        if arrival <= self.sim.now:
+            # Uncontended zero-latency transfer: deliver inline instead
+            # of taking a heap round trip.  Consumers are still woken
+            # through their waitsets, which defer re-evaluation to an
+            # event at the current time, so ordering is unchanged.
+            self.fast_path_deliveries += 1
+            deliver()
+            self.waitset.wake()
+            return
+        self._schedule_delivery(self.sim, arrival, deliver)
 
 
 class SharedBusTransport(_TransportStats):
@@ -181,7 +219,7 @@ class SharedBusTransport(_TransportStats):
             contention=contention,
             kind=kind,
         )
-        self.sim.at(arrival, deliver)
+        self._schedule_delivery(self.sim, arrival, deliver)
 
 
 class OrderedBusTransport(_TransportStats):
@@ -254,5 +292,5 @@ class OrderedBusTransport(_TransportStats):
                 contention=contention,
                 kind=kind,
             )
-            self.sim.at(arrival, deliver)
+            self._schedule_delivery(self.sim, arrival, deliver)
             self._cursor = (self._cursor + 1) % len(self.order)

@@ -18,7 +18,7 @@ from typing import Deque, Dict, List, Optional
 from repro.dataflow.graph import Actor, Edge
 from repro.dataflow.vts import PackedToken
 from repro.platform.interconnect import Interconnect
-from repro.platform.simulator import Simulator
+from repro.platform.simulator import Simulator, Waitset
 from repro.spi.channel import SpiChannel
 from repro.spi.message import make_ack_message, make_data_message
 
@@ -60,6 +60,8 @@ class LocalFifo:
             initial = [None] * edge.delay
         self.tokens: Deque = deque(initial)
         self.high_water = len(self.tokens)
+        #: woken on every push (unblocks a starved consumer)
+        self.waitset = Waitset(f"fifo:{edge.name}")
 
     def __len__(self) -> int:
         return len(self.tokens)
@@ -68,6 +70,7 @@ class LocalFifo:
         self.tokens.extend(values)
         if len(self.tokens) > self.high_water:
             self.high_water = len(self.tokens)
+        self.waitset.wake()
 
     def pop(self, count: int) -> List:
         if len(self.tokens) < count:
@@ -117,6 +120,15 @@ class ComputationTask:
         if starved:
             return "starved on " + ", ".join(starved)
         return None
+
+    def wait_on(self, now: int) -> List[Waitset]:
+        """Waitsets of the resources currently blocking the guard."""
+        return [
+            self.inputs[port.name].waitset
+            for port in self.actor.input_ports
+            if port.name in self.inputs
+            and len(self.inputs[port.name]) < port.rate
+        ]
 
     def start(self, now: int) -> int:
         consumed: Dict[str, List] = {}
@@ -211,6 +223,15 @@ class SpiSendTask:
             )
         return None
 
+    def wait_on(self, now: int) -> List[Waitset]:
+        """Waitsets of the resources currently blocking the guard."""
+        waitsets = []
+        if len(self.in_fifo) < self.rate:
+            waitsets.append(self.in_fifo.waitset)
+        if not self.channel.flow.can_send():
+            waitsets.append(self.channel.space_waitset)
+        return waitsets
+
     def start(self, now: int) -> int:
         tokens = self.in_fifo.pop(self.rate)
         self.channel.on_send()
@@ -287,6 +308,8 @@ class SyncTokenPool:
         self.high_water = initial
         #: failed availability checks — the consumer retried on empty
         self.empty_stalls = 0
+        #: woken on every deposit (unblocks a guarded consumer)
+        self.waitset = Waitset(f"pool:{name}")
 
     def available(self) -> bool:
         if self.tokens > 0:
@@ -305,6 +328,7 @@ class SyncTokenPool:
         self.tokens += 1
         if self.tokens > self.high_water:
             self.high_water = self.tokens
+        self.waitset.wake()
 
 
 class SyncedTask:
@@ -371,6 +395,25 @@ class SyncedTask:
         if inner_reason is not None:
             return inner_reason(now)
         return None
+
+    def wait_on(self, now: int) -> List[Waitset]:
+        """Waitsets of the resources currently blocking the guard.
+
+        Like :meth:`blocked_reason`, inspects ``pool.tokens`` directly
+        instead of calling :meth:`SyncTokenPool.available` so diagnosis
+        does not perturb the stall metrics.
+        """
+        waitsets = []
+        if self._participates():
+            waitsets.extend(
+                pool.waitset for pool in self.guards if pool.tokens <= 0
+            )
+        inner_wait = getattr(self.inner, "wait_on", None)
+        if inner_wait is not None:
+            # the inner hook names only currently-blocking resources,
+            # so it contributes nothing when the inner guard holds
+            waitsets.extend(inner_wait(now))
+        return waitsets
 
     def start(self, now: int):
         if self._participates():
@@ -444,6 +487,10 @@ class SpiReceiveTask:
                 f"{self.channel.edge.name!r}"
             )
         return None
+
+    def wait_on(self, now: int) -> List[Waitset]:
+        """Waitsets of the resources currently blocking the guard."""
+        return [self.channel.data_waitset]
 
     def start(self, now: int) -> int:
         # The message is consumed at completion; duration models header

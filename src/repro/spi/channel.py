@@ -25,6 +25,7 @@ from typing import Deque, Optional
 
 from repro.dataflow.graph import Edge
 from repro.platform.memory import BufferMemory
+from repro.platform.simulator import Waitset
 from repro.spi.message import Message, MessageKind
 from repro.spi.protocols import ChannelFlowControl, ProtocolConfig
 
@@ -86,6 +87,10 @@ class SpiChannel:
         #: compile-time bound B(e) by the observability layer
         self.arrived_high_water = 0
         self.stats = ChannelStats()
+        #: woken when a data message lands (unblocks SPI_receive)
+        self.data_waitset = Waitset(f"{edge.name}.data")
+        #: woken when an ack restores a send credit (unblocks SPI_send)
+        self.space_waitset = Waitset(f"{edge.name}.space")
 
     def on_send(self) -> None:
         """Sender committed one message (credit accounting for UBS)."""
@@ -97,6 +102,7 @@ class SpiChannel:
             self.flow.on_ack()
             self.stats.ack_messages += 1
             self.stats.ack_bytes += message.wire_bytes
+            self.space_waitset.wake()
             return
         self.recv_buffer.write(message.payload_bytes)
         self.arrived.append(message)
@@ -105,6 +111,7 @@ class SpiChannel:
         self.stats.data_messages += 1
         self.stats.data_bytes += message.payload_bytes
         self.stats.header_bytes += message.header_bytes
+        self.data_waitset.wake()
 
     def receive_ready(self) -> bool:
         """SPI_receive guard: a message is waiting."""

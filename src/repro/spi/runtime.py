@@ -240,8 +240,17 @@ class SpiSystem:
 
         # UBS channels synchronize backwards through ack edges; add them to
         # the synchronization graph so resynchronization can judge them.
+        # Only single-invocation channels qualify: sync-graph delays
+        # count iterations between the #0 invocations, so a multirate
+        # window of W *messages* (M > 1 per iteration) has no faithful
+        # iteration-granularity edge — any delay large enough to be
+        # implied by the ack protocol is too large to safely license its
+        # removal.  Those channels simply keep their acks.
+        judged_acks = set()
         for plan in channel_plans.values():
             if plan.protocol != Protocol.UBS:
+                continue
+            if cls._messages_per_iteration(schedule, plan.send_actor) != 1:
                 continue
             send_task, recv_task = cls._channel_tasks(schedule, plan)
             sync_graph.add_edge(
@@ -253,6 +262,7 @@ class SpiSystem:
                     origin_edge=plan.origin_edge_name,
                 )
             )
+            judged_acks.add(plan.origin_edge_name)
 
         resync_result: Optional[ResynchronizationResult] = None
         if config.resynchronize:
@@ -263,7 +273,10 @@ class SpiSystem:
                 if e.kind == EdgeKind.ACK
             }
             for plan in channel_plans.values():
-                if plan.protocol == Protocol.UBS:
+                if (
+                    plan.protocol == Protocol.UBS
+                    and plan.origin_edge_name in judged_acks
+                ):
                     plan.acks_enabled = plan.origin_edge_name in surviving_acks
 
         return cls(
@@ -292,6 +305,21 @@ class SpiSystem:
         if plan.send_actor in tasks:
             return plan.send_actor, plan.recv_actor
         return f"{plan.send_actor}#0", f"{plan.recv_actor}#0"
+
+    @staticmethod
+    def _messages_per_iteration(
+        schedule: SelfTimedSchedule, send_actor: str
+    ) -> int:
+        """How many messages the channel carries per graph iteration.
+
+        Each invocation of the SPI_send actor launches exactly one
+        message, so the count equals the actor's HSDF repetition count
+        (1 when the schedule kept the unexpanded name).
+        """
+        if send_actor in schedule.task_pe:
+            return 1
+        prefix = send_actor + "#"
+        return sum(1 for task in schedule.task_pe if task.startswith(prefix))
 
     @classmethod
     def _plan_channels(
@@ -335,16 +363,27 @@ class SpiSystem:
             feedback = rho.get(recv_task, {}).get(send_task)
             delay_msgs = ipc_edge.delay // max(1, ipc_edge.source.rate)
             payload_bytes = ipc_edge.source.rate * ipc_edge.token_bytes
+            msgs_per_iter = cls._messages_per_iteration(schedule, pair.send)
 
             if (
                 config.protocol_policy == "auto"
                 and feedback is not None
-                and 0 < feedback + delay_msgs + 1 <= config.max_bbs_messages
+                and 0
+                < msgs_per_iter * (feedback + 1) + delay_msgs
+                <= config.max_bbs_messages
             ):
-                # +1: the message being processed by the receiver still
-                # occupies its slot while in flight through SPI_receive.
+                # Sync-graph delays count *iterations* between the #0
+                # invocations, while the bound counts *messages*: with a
+                # feedback of f iterations the sender can run f + 1
+                # iterations (of msgs_per_iter messages each) ahead of
+                # the receiver's oldest unfreed slot, plus the initial
+                # delay tokens.  The msgs_per_iter'th message of the
+                # newest iteration doubles as the in-process +1 slack
+                # (the message inside SPI_receive still occupies its
+                # slot); for single-rate channels the formula reduces to
+                # the familiar feedback + delay + 1.
                 protocol = Protocol.BBS
-                capacity = feedback + delay_msgs + 1
+                capacity = msgs_per_iter * (feedback + 1) + delay_msgs
                 acks = False
             else:
                 protocol = Protocol.UBS
@@ -373,6 +412,8 @@ class SpiSystem:
         max_cycles: Optional[int] = None,
         trace: bool = False,
         metrics: bool = False,
+        wakeups: str = "targeted",
+        check_lost_wakeups: bool = False,
     ) -> RunResult:
         """Simulate ``iterations`` graph iterations; returns the metrics.
 
@@ -384,6 +425,12 @@ class SpiSystem:
         metrics JSON document and ``RunResult.message_log`` with every
         inter-PE message — the inputs of the Chrome-trace and metrics
         exporters in :mod:`repro.observability`.
+
+        ``wakeups`` selects the kernel's parking discipline
+        (``"targeted"`` per-resource waitsets, ``"broadcast"`` the
+        legacy retry sweep — kept for A/B benchmarking), and
+        ``check_lost_wakeups=True`` arms the kernel's lost-wakeup audit
+        (used by the conformance oracles).
         """
         if iterations < 1:
             raise GraphError("iterations must be >= 1")
@@ -392,7 +439,7 @@ class SpiSystem:
             from repro.observability import ObservabilityHub
 
             hub = ObservabilityHub()
-        sim = Simulator()
+        sim = Simulator(wakeups=wakeups, check_lost_wakeups=check_lost_wakeups)
         recorder = TraceRecorder() if trace else None
         interconnect = Interconnect(default_spec=self.config.link_spec)
         transport = self._build_transport(sim, interconnect, observer=hub)

@@ -58,9 +58,12 @@ class TestSystematicResample:
         indices = systematic_resample(weights, count, offset)
         counts = multiplicities(indices, len(weights))
         total = sum(weights)
+        # the within-1 bound holds in exact arithmetic; the float share
+        # can land an epsilon below/above it (cumulative-sum rounding)
+        tolerance = 1e-9 * count
         for i, w in enumerate(weights):
             share = count * w / total
-            assert share - 1 <= counts[i] <= share + 1
+            assert share - 1 - tolerance <= counts[i] <= share + 1 + tolerance
 
 
 class TestMultinomial:

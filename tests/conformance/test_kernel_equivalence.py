@@ -1,0 +1,50 @@
+"""Kernel A/B oracle: targeted wakeups never change simulated behaviour.
+
+The waitset kernel must be a pure performance change: for every seed,
+the SPI stack simulated under ``wakeups="targeted"`` (with the
+lost-wakeup audit armed) must produce bit-identical token streams, the
+same makespan and the same message counts as the legacy broadcast-retry
+kernel.  Token values depend only on per-edge FIFO order — which wakeup
+delivery cannot reorder, since wakes go through the event heap at the
+current time after the mutating event — so any divergence here is a
+kernel bug, not nondeterminism.
+"""
+
+from repro.conformance import build_case, generate_spec
+from repro.spi import SpiSystem
+
+SEED_COUNT = 50
+ITERATIONS = 4
+
+
+def _run(seed: int, wakeups: str):
+    """Fresh case per run: stateful actor kernels must not leak across."""
+    case = build_case(generate_spec(seed))
+    system = SpiSystem.compile(case.graph, case.partition)
+    case.tap.begin(wakeups)
+    result = system.run(
+        iterations=ITERATIONS,
+        max_cycles=10_000_000,
+        wakeups=wakeups,
+        check_lost_wakeups=(wakeups == "targeted"),
+    )
+    return case.tap.streams(wakeups), result
+
+
+def test_token_streams_identical_across_kernels():
+    diverged = []
+    for seed in range(SEED_COUNT):
+        targeted_streams, targeted = _run(seed, "targeted")
+        broadcast_streams, broadcast = _run(seed, "broadcast")
+        if targeted_streams != broadcast_streams:
+            diverged.append(f"seed {seed}: token streams")
+        if targeted.cycles != broadcast.cycles:
+            diverged.append(
+                f"seed {seed}: cycles {targeted.cycles} != {broadcast.cycles}"
+            )
+        if targeted.data_messages != broadcast.data_messages:
+            diverged.append(
+                f"seed {seed}: data messages {targeted.data_messages} "
+                f"!= {broadcast.data_messages}"
+            )
+    assert not diverged, "; ".join(diverged)

@@ -71,6 +71,28 @@ class TestDocumentShape:
         assert sim["events_processed"] > 0
         assert sim["parks"] >= 0
         assert sim["retry_rounds"] <= sim["parks"] + sim["events_processed"]
+        assert sim["wakeup_policy"] == "targeted"
+        assert sim["total_wakeups"] == (
+            sim["targeted_wakeups"] + sim["broadcast_wakeups"]
+        )
+        assert sim["spurious_wakeups"] <= sim["total_wakeups"]
+
+    def test_wakeup_counters_follow_discipline(self):
+        targeted = small_system().run(iterations=3, metrics=True).metrics
+        broadcast = (
+            small_system()
+            .run(iterations=3, metrics=True, wakeups="broadcast")
+            .metrics
+        )
+        assert targeted["simulator"]["broadcast_wakeups"] == 0
+        assert broadcast["simulator"]["wakeup_policy"] == "broadcast"
+        assert broadcast["simulator"]["targeted_wakeups"] == 0
+        # same simulation either way — only the kernel discipline differs
+        assert targeted["run"]["cycles"] == broadcast["run"]["cycles"]
+
+    def test_transport_fast_path_counter_present(self):
+        document = small_system().run(iterations=3, metrics=True).metrics
+        assert document["transport"]["fast_path_deliveries"] >= 0
 
     def test_blocked_cycles_attributed(self):
         document = small_system().run(iterations=4, metrics=True).metrics

@@ -20,9 +20,16 @@ class TestLinkSpec:
         with pytest.raises(ValueError):
             LinkSpec(word_bytes=0)
         with pytest.raises(ValueError):
-            LinkSpec(cycles_per_word=0)
+            LinkSpec(cycles_per_word=-1)
         with pytest.raises(ValueError):
             LinkSpec().transfer_cycles(-1)
+
+    def test_zero_latency_link(self):
+        # cycles_per_word=0 expresses the ideal link of the kernel
+        # micro-benchmarks: every transfer completes in setup time only.
+        spec = LinkSpec(setup_cycles=0, cycles_per_word=0)
+        assert spec.transfer_cycles(0) == 0
+        assert spec.transfer_cycles(64) == 0
 
 
 class TestLink:

@@ -1,12 +1,16 @@
 """Unit tests for the discrete-event kernel and PE sequencers."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.platform import (
+    LostWakeupError,
     PESequencer,
     ProcessingElement,
     SimulationDeadlock,
     Simulator,
+    Waitset,
 )
 
 
@@ -215,3 +219,271 @@ class TestPESequencer:
         assert pe.utilization(60) == pytest.approx(0.5)
         assert pe.utilization(0) == 0.0
         assert pe.name == "PE3"
+
+
+class Resource:
+    """Counting resource with a waitset — the targeted-wakeup testbed."""
+
+    def __init__(self, sim, name="r"):
+        self.sim = sim
+        self.tokens = 0
+        self.waitset = Waitset(name)
+
+    def deposit(self, wake=True):
+        self.tokens += 1
+        if wake:
+            self.waitset.wake()
+        self.sim.notify()
+
+
+class WaitingTask(StubTask):
+    """Consumes one token per firing; declares its waitset via wait_on."""
+
+    def __init__(self, name, resource, duration=2):
+        super().__init__(name, duration)
+        self.resource = resource
+
+    def ready(self, now):
+        return self.resource.tokens > 0
+
+    def wait_on(self, now):
+        return [self.resource.waitset]
+
+    def start(self, now):
+        self.resource.tokens -= 1
+        return self.duration
+
+
+class BroadcastTask(WaitingTask):
+    """Same consumer without the wait_on hook: broadcast fallback."""
+
+    wait_on = None
+
+    def __getattribute__(self, name):
+        if name == "wait_on":
+            raise AttributeError("wait_on")
+        return object.__getattribute__(self, name)
+
+
+class TestWaitsets:
+    def _consumer(self, sim, resource, iterations=1, cls=WaitingTask, idx=0):
+        task = cls(f"consume{idx}", resource)
+        seq = PESequencer(
+            sim, ProcessingElement(idx), [task], iterations=iterations
+        )
+        seq.begin()
+        return task, seq
+
+    def test_wakeup_discipline_validated(self):
+        with pytest.raises(ValueError, match="wakeup"):
+            Simulator(wakeups="bogus")
+
+    def test_targeted_wakeup_counters(self):
+        sim = Simulator()
+        resource = Resource(sim)
+        task, _ = self._consumer(sim, resource)
+        sim.at(10, resource.deposit)
+        sim.run()
+        assert task.finishes == [12]
+        assert sim.parks == 1
+        assert sim.targeted_wakeups == 1
+        assert sim.broadcast_wakeups == 0
+        assert sim.spurious_wakeups == 0
+        assert sim.total_wakeups == 1
+        assert sim.retry_rounds == 0
+        assert resource.waitset.wakes == 1
+
+    def test_broadcast_fallback_for_plain_tasks(self):
+        sim = Simulator()
+        resource = Resource(sim)
+        task, _ = self._consumer(sim, resource, cls=BroadcastTask)
+        sim.at(10, resource.deposit)
+        sim.run()
+        assert task.finishes == [12]
+        assert sim.targeted_wakeups == 0
+        assert sim.broadcast_wakeups >= 1
+        assert sim.retry_rounds >= 1
+
+    def test_forced_broadcast_discipline(self):
+        """wakeups="broadcast" parks even wait_on tasks on the retry
+        sweep — the pre-waitset kernel, kept for A/B benchmarking."""
+        sim = Simulator(wakeups="broadcast")
+        resource = Resource(sim)
+        task, _ = self._consumer(sim, resource)
+        sim.at(10, resource.deposit)
+        sim.run()
+        assert task.finishes == [12]
+        assert sim.targeted_wakeups == 0
+        assert sim.broadcast_wakeups >= 1
+
+    def test_spurious_wakeup_counted(self):
+        """Two consumers on one waitset, one token: the loser re-parks
+        and the kernel books one spurious wakeup."""
+        sim = Simulator()
+        resource = Resource(sim)
+        t0, _ = self._consumer(sim, resource, idx=0)
+        t1, _ = self._consumer(sim, resource, idx=1)
+        sim.at(5, resource.deposit)
+        sim.at(20, resource.deposit)
+        sim.run()
+        assert t0.finishes and t1.finishes
+        assert sim.spurious_wakeups == 1
+        assert sim.targeted_wakeups == 3  # 2 at t=5 (1 spurious) + 1 at t=20
+
+    def test_stale_subscriptions_invalidated_by_epoch(self):
+        """A sequencer re-parking leaves stale entries in waitsets it no
+        longer waits on; epoch comparison must discard them."""
+
+        class TwoResourceTask(StubTask):
+            def __init__(self, name, a, b):
+                super().__init__(name, duration=1)
+                self.a, self.b = a, b
+
+            def ready(self, now):
+                return self.a.tokens > 0 and self.b.tokens > 0
+
+            def wait_on(self, now):
+                waitsets = []
+                if self.a.tokens <= 0:
+                    waitsets.append(self.a.waitset)
+                if self.b.tokens <= 0:
+                    waitsets.append(self.b.waitset)
+                return waitsets
+
+            def start(self, now):
+                self.a.tokens -= 1
+                self.b.tokens -= 1
+                return self.duration
+
+        sim = Simulator()
+        a, b = Resource(sim, "a"), Resource(sim, "b")
+        task = TwoResourceTask("t", a, b)
+        seq = PESequencer(sim, ProcessingElement(0), [task], iterations=1)
+        seq.begin()
+        sim.at(5, a.deposit)   # wakes, guard still fails (b empty)
+        sim.at(10, b.deposit)  # wakes the *new* subscription only
+        sim.run()
+        assert task.finishes == [11]
+        assert sim.spurious_wakeups == 1
+        assert sim.targeted_wakeups == 2
+
+    def test_park_is_idempotent(self):
+        sim = Simulator()
+        seq = PESequencer(
+            sim, ProcessingElement(0), [StubTask("t")], iterations=1
+        )
+        sim.park(seq)
+        sim.park(seq)
+        assert sim.parks == 1
+        assert sim._parked.count(seq) == 1
+
+    def test_lost_wakeup_detected_at_deadlock(self):
+        """A resource mutated without wake(): the drained heap finds the
+        parked task ready and reports a kernel bug, not an app deadlock."""
+        sim = Simulator()
+        resource = Resource(sim)
+        self._consumer(sim, resource)
+
+        def silent_deposit():
+            resource.tokens += 1  # no wake, no notify
+
+        sim.at(5, silent_deposit)
+        with pytest.raises(LostWakeupError, match="lost wakeup"):
+            sim.run()
+
+    def test_lost_wakeup_audit_mode(self):
+        """check_lost_wakeups=True catches the lost wakeup at the next
+        wake round instead of waiting for the deadlock."""
+        sim = Simulator(check_lost_wakeups=True)
+        starved, healthy = Resource(sim, "starved"), Resource(sim, "ok")
+        self._consumer(sim, starved, idx=0)
+        self._consumer(sim, healthy, idx=1)
+
+        def mixed():
+            starved.tokens += 1       # forgotten wake
+            healthy.deposit()         # proper wake -> drives a wake round
+
+        sim.at(5, mixed)
+        with pytest.raises(LostWakeupError, match="lost wakeup"):
+            sim.run()
+
+    def test_deadlock_still_reported_under_targeted(self):
+        sim = Simulator()
+        resource = Resource(sim)  # never deposited
+        self._consumer(sim, resource)
+        with pytest.raises(SimulationDeadlock, match="blocked on task"):
+            sim.run()
+
+
+class TestProcessingElementReset:
+    def test_reset_clears_all_statistics(self):
+        pe = ProcessingElement(2)
+        pe.record_execution(30)
+        pe.record_block()
+        pe.record_blocked_interval("recv", 12)
+        pe.reset()
+        assert pe.busy_cycles == 0
+        assert pe.firings == 0
+        assert pe.blocked_events == 0
+        assert pe.blocked_cycles == 0
+        assert pe.blocked_by_task == {}
+        # identity survives, accounting restarts cleanly
+        assert pe.index == 2 and pe.name == "PE2"
+        pe.record_blocked_interval("send", 3)
+        assert pe.blocked_by_task == {"send": 3}
+
+
+class TestNoLostWakeupProperty:
+    """Property: under random deposit/consume interleavings the targeted
+    kernel (with its lost-wakeup audit armed) never strands a sequencer,
+    and delivers the exact schedule of the broadcast kernel."""
+
+    @staticmethod
+    def _build(wakeups, plan, check=False):
+        sim = Simulator(wakeups=wakeups, check_lost_wakeups=check)
+        tasks = []
+        for idx, (targeted, duration, deposits) in enumerate(plan):
+            resource = Resource(sim, f"r{idx}")
+            cls = WaitingTask if targeted else BroadcastTask
+            task = cls(f"c{idx}", resource, duration=duration)
+            seq = PESequencer(
+                sim,
+                ProcessingElement(idx),
+                [task],
+                iterations=len(deposits),
+            )
+            seq.begin()
+            tasks.append((task, seq))
+            for t in deposits:
+                sim.at(t, resource.deposit)
+        return sim, tasks
+
+    @given(
+        plan=st.lists(
+            st.tuples(
+                st.booleans(),                        # wait_on hook?
+                st.integers(0, 4),                    # task duration
+                st.lists(                             # deposit times
+                    st.integers(0, 40), min_size=1, max_size=5
+                ),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleavings(self, plan):
+        sim, tasks = self._build("targeted", plan, check=True)
+        final = sim.run()
+        for task, seq in tasks:
+            assert seq.done
+            assert len(task.finishes) == seq.iterations
+        assert sim.total_wakeups == sim.targeted_wakeups + sim.broadcast_wakeups
+        assert sim.spurious_wakeups <= sim.total_wakeups
+
+        # the broadcast kernel must produce the identical schedule
+        ref_sim, ref_tasks = self._build("broadcast", plan)
+        ref_final = ref_sim.run()
+        assert ref_final == final
+        for (task, _), (ref_task, _) in zip(tasks, ref_tasks):
+            assert task.finishes == ref_task.finishes

@@ -199,3 +199,82 @@ class TestRuntimeIntegration:
 
         with pytest.raises(ValueError):
             SpiConfig(transport="carrier_pigeon")
+
+
+class TestFastPath:
+    """The p2p uncontended fast path: zero-latency idle links deliver
+    inline instead of taking a heap round trip."""
+
+    def test_zero_latency_link_delivers_inline(self):
+        sim = Simulator()
+        transport = PointToPointTransport(sim, Interconnect(LinkSpec(0, 4, 0)))
+        log = []
+        transport.send("a", 0, 1, 4, 0, lambda: log.append(sim.now))
+        # delivered synchronously inside send(): no sim.run() needed
+        assert log == [0]
+        assert transport.fast_path_deliveries == 1
+        assert sim.events_processed == 0
+
+    def test_busy_link_takes_slow_path(self):
+        sim = Simulator()
+        transport = PointToPointTransport(sim, Interconnect(LinkSpec(0, 4, 1)))
+        log = []
+        transport.send("a", 0, 1, 8, 0, lambda: log.append(("first", sim.now)))
+        transport.send("a", 0, 1, 8, 0, lambda: log.append(("second", sim.now)))
+        sim.run()
+        # per-word cycles make arrival > now: both queue through the heap
+        assert transport.fast_path_deliveries == 0
+        assert log == [("first", 2), ("second", 4)]
+
+    def test_nonzero_setup_takes_slow_path(self):
+        sim = Simulator()
+        transport = PointToPointTransport(sim, Interconnect(LinkSpec(4, 4, 1)))
+        log = []
+        transport.send("a", 0, 1, 4, 0, lambda: log.append(sim.now))
+        assert log == []  # not yet delivered
+        sim.run()
+        assert log == [5]
+        assert transport.fast_path_deliveries == 0
+
+    def test_fast_path_wakes_waitset(self):
+        from repro.platform import PESequencer, ProcessingElement
+
+        sim = Simulator()
+        transport = PointToPointTransport(sim, Interconnect(LinkSpec(0, 4, 0)))
+        arrived = []
+
+        class RecvTask:
+            name = "recv"
+
+            def ready(self, now):
+                return bool(arrived)
+
+            def wait_on(self, now):
+                return [transport.waitset]
+
+            def start(self, now):
+                arrived.pop()
+                return 1
+
+            def finish(self, now):
+                pass
+
+        seq = PESequencer(
+            sim, ProcessingElement(0), [RecvTask()], iterations=1
+        )
+        seq.begin()
+        sim.at(7, lambda: transport.send(
+            "a", 1, 0, 4, 7, lambda: arrived.append(1)
+        ))
+        final = sim.run()
+        assert final == 8  # parked consumer woken by the inline delivery
+        assert transport.fast_path_deliveries == 1
+        assert sim.targeted_wakeups == 1
+
+    def test_stats_still_recorded_on_fast_path(self):
+        sim = Simulator()
+        transport = PointToPointTransport(sim, Interconnect(LinkSpec(0, 4, 0)))
+        transport.send("a", 0, 1, 16, 0, lambda: None)
+        assert transport.messages == 1
+        assert transport.bytes == 16
+        assert transport.per_channel["a"].messages == 1

@@ -132,3 +132,41 @@ class TestMultiratePipelineShape:
         assert sum(1 for t in pe0 if t.startswith("src")) == 4
         report = system.describe()
         assert "src#0" in report or "src" in report
+
+
+class TestMultirateAckSoundness:
+    """Multirate UBS channels must keep their acknowledgments.
+
+    The sync graph models the ack window as one iteration-granularity
+    edge between the #0 invocations; for a channel carrying M > 1
+    messages per iteration no such edge faithfully encodes a window of
+    W *messages*, so resynchronization is not allowed to judge (and
+    remove) it.  Removing it used to let the sender overrun the receive
+    buffer (BufferOverflowError on generator seed 36).
+    """
+
+    def _compile_seed36(self):
+        from repro.conformance import GraphShape, build_case, generate_spec
+
+        case = build_case(generate_spec(36, GraphShape()))
+        return SpiSystem.compile(case.graph, case.partition)
+
+    def test_multirate_ubs_channels_keep_acks(self):
+        system = self._compile_seed36()
+        from repro.spi.runtime import SpiSystem as _S
+
+        multirate = [
+            plan
+            for plan in system.channel_plans.values()
+            if _S._messages_per_iteration(system.schedule, plan.send_actor) > 1
+        ]
+        assert multirate, "seed 36 must contain a multirate IPC edge"
+        for plan in multirate:
+            if plan.protocol == "SPI_UBS":
+                assert plan.acks_enabled
+
+    def test_seed36_runs_without_overflow(self):
+        result = self._compile_seed36().run(
+            iterations=12, max_cycles=10_000_000
+        )
+        assert result.iterations == 12

@@ -14,6 +14,7 @@ import pytest
 from conftest import QUICK, emit, save_bench_json, save_result
 from repro.analysis import Figure, speedups
 from repro.apps.lpc import build_parallel_error_graph
+from repro.service import AnalysisCache, RunContext, run_operation
 from repro.spi import SpiSystem
 
 SAMPLE_SIZES = (128, 256) if QUICK else (128, 192, 256, 384, 512, 640)
@@ -22,24 +23,35 @@ ORDER = 8
 ITERATIONS = 3 if QUICK else 5
 CLOCK_MHZ = 100.0
 
+#: sweep points share compile-time analyses through the service cache
+_CACHE = AnalysisCache()
 
-def measure(frames, n_units: int) -> float:
-    """Steady-state per-frame execution time of actor D, microseconds."""
-    system = build_parallel_error_graph(frames, order=ORDER, n_units=n_units)
-    result = SpiSystem.compile(system.graph, system.partition).run(
-        iterations=ITERATIONS
+
+def measure(size: int, n_units: int) -> float:
+    """Steady-state per-frame execution time of actor D, microseconds.
+
+    Thin client of the ``bench.figure`` run operation (repro.service).
+    """
+    result = run_operation(
+        "bench.figure",
+        {
+            "figure": "fig6",
+            "size": size,
+            "n": n_units,
+            "iterations": ITERATIONS,
+        },
+        RunContext(cache=_CACHE),
     )
-    return result.iteration_period_cycles / CLOCK_MHZ
+    return result.payload["iteration_period_cycles"] / CLOCK_MHZ
 
 
 @pytest.fixture(scope="module")
-def sweep(speech_frames_factory):
-    times = {}
-    for size in SAMPLE_SIZES:
-        frames = speech_frames_factory(size)
-        for n in PE_COUNTS:
-            times[(size, n)] = measure(frames, n)
-    return times
+def sweep():
+    return {
+        (size, n): measure(size, n)
+        for size in SAMPLE_SIZES
+        for n in PE_COUNTS
+    }
 
 
 def test_fig6_report(sweep):
@@ -98,7 +110,6 @@ def test_fig6_speedup_grows_with_size(sweep):
     assert large > small
 
 
-def test_fig6_benchmark_4pe_512(benchmark, speech_frames_factory):
+def test_fig6_benchmark_4pe_512(benchmark):
     """pytest-benchmark unit: compile+simulate the 4-PE, 512-sample point."""
-    frames = speech_frames_factory(512)
-    benchmark(measure, frames, 4)
+    benchmark(measure, 512, 4)

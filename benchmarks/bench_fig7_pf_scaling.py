@@ -13,6 +13,7 @@ import pytest
 from conftest import QUICK, emit, save_bench_json, save_result
 from repro.analysis import Figure
 from repro.apps.particle_filter import build_particle_filter_graph
+from repro.service import AnalysisCache, RunContext, run_operation
 from repro.spi import SpiSystem
 
 PARTICLE_COUNTS = (50, 150, 300) if QUICK else (50, 100, 150, 200, 250, 300)
@@ -20,23 +21,32 @@ PE_COUNTS = (1, 2)
 ITERATIONS = 4 if QUICK else 6
 CLOCK_MHZ = 100.0
 
+#: sweep points share compile-time analyses through the service cache
+_CACHE = AnalysisCache()
 
-def measure(model, observations, n_particles: int, n_pes: int) -> float:
-    """Steady-state per-iteration filter time, microseconds."""
-    system = build_particle_filter_graph(
-        model, observations, n_particles=n_particles, n_pes=n_pes
+
+def measure(n_particles: int, n_pes: int) -> float:
+    """Steady-state per-iteration filter time, microseconds.
+
+    Thin client of the ``bench.figure`` run operation (repro.service).
+    """
+    result = run_operation(
+        "bench.figure",
+        {
+            "figure": "fig7",
+            "size": n_particles,
+            "n": n_pes,
+            "iterations": ITERATIONS,
+        },
+        RunContext(cache=_CACHE),
     )
-    result = SpiSystem.compile(system.graph, system.partition).run(
-        iterations=ITERATIONS
-    )
-    return result.iteration_period_cycles / CLOCK_MHZ
+    return result.payload["iteration_period_cycles"] / CLOCK_MHZ
 
 
 @pytest.fixture(scope="module")
-def sweep(crack_problem):
-    model, _, observations = crack_problem
+def sweep():
     return {
-        (particles, n): measure(model, observations, particles, n)
+        (particles, n): measure(particles, n)
         for particles in PARTICLE_COUNTS
         for n in PE_COUNTS
     }
@@ -95,7 +105,6 @@ def test_fig7_speedup_below_two_and_growing(sweep):
     assert gains[-1] > gains[0]
 
 
-def test_fig7_benchmark_2pe_300(benchmark, crack_problem):
+def test_fig7_benchmark_2pe_300(benchmark):
     """pytest-benchmark unit: the 2-PE, 300-particle point."""
-    model, _, observations = crack_problem
-    benchmark(measure, model, observations, 300, 2)
+    benchmark(measure, 300, 2)

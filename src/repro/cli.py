@@ -138,41 +138,22 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_resync(args: argparse.Namespace) -> int:
-    from repro.apps.lpc import build_parallel_error_graph, frame_stream
-    from repro.apps.particle_filter import (
-        CrackGrowthModel,
-        build_particle_filter_graph,
-        simulate_crack_history,
-    )
+    from repro.service import run_operation
 
     rows = []
-    frames = frame_stream(total_samples=2 * 256, frame_size=256)
-    lpc = build_parallel_error_graph(frames, order=8, n_units=3)
-    model = CrackGrowthModel()
-    _, observations = simulate_crack_history(model, steps=4)
-    pf = build_particle_filter_graph(
-        model, observations, n_particles=100, n_pes=2
-    )
-    for label, system in (
-        ("LPC actor D, 3 PEs (fig. 3)", lpc),
-        ("particle filter, 2 PEs (fig. 5)", pf),
+    for label, app, pes in (
+        ("LPC actor D, 3 PEs (fig. 3)", "lpc", 3),
+        ("particle filter, 2 PEs (fig. 5)", "pf", 2),
     ):
-        raw = SpiSystem.compile(
-            system.graph,
-            system.partition,
-            SpiConfig(protocol_policy="always_ubs", resynchronize=False),
-        ).run(iterations=4)
-        optimised = SpiSystem.compile(
-            system.graph,
-            system.partition,
-            SpiConfig(protocol_policy="always_ubs", resynchronize=True),
-        ).run(iterations=4)
+        result = run_operation(
+            "ablate.resync", {"app": app, "pes": pes, "iterations": 4}
+        )
         rows.append(
             [
                 label,
-                str(raw.sync_messages),
-                str(optimised.sync_messages),
-                str(raw.wire_bytes - optimised.wire_bytes),
+                str(result.payload["sync_messages_raw"]),
+                str(result.payload["sync_messages_resync"]),
+                str(result.payload["wire_bytes_saved"]),
             ]
         )
     print(
@@ -214,55 +195,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_app_system(app: str, pes: int, iterations: int):
-    """Build one of the example applications for ``repro run``."""
-    if app == "lpc":
-        from repro.apps.lpc import build_parallel_error_graph, frame_stream
-
-        frames = frame_stream(total_samples=2 * 256, frame_size=256)
-        return build_parallel_error_graph(frames, order=8, n_units=pes)
-    if app == "pf":
-        from repro.apps.particle_filter import (
-            CrackGrowthModel,
-            build_particle_filter_graph,
-            simulate_crack_history,
-        )
-
-        model = CrackGrowthModel()
-        _, observations = simulate_crack_history(
-            model, steps=max(4, iterations)
-        )
-        return build_particle_filter_graph(
-            model, observations, n_particles=100, n_pes=min(pes, 2)
-        )
-    if app == "chain":
-        from repro.dataflow import DataflowGraph
-        from repro.mapping import Partition, auto_pipeline
-
-        graph = DataflowGraph("chain")
-        stages = [("load", 400), ("transform", 500), ("store", 300)]
-        actors = [graph.actor(name, cycles=c) for name, c in stages]
-        for left, right in zip(actors, actors[1:]):
-            out = left.add_output(f"to_{right.name}")
-            inp = right.add_input(f"from_{left.name}")
-            graph.connect(out, inp)
-        result = auto_pipeline(graph, stages=min(pes, len(stages)))
-
-        class _System:
-            pass
-
-        system = _System()
-        system.graph = result.graph
-        system.partition = Partition.manual(result.graph, result.stages)
-        return system
-    raise ValueError(f"unknown app {app!r}")
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis import render_metrics_summary
     from repro.observability import chrome_trace, write_json
+    from repro.service.operations import build_app_system
 
-    system = _build_app_system(args.app, args.pes, args.iterations)
+    system = build_app_system(args.app, args.pes, args.iterations)
     compiled = SpiSystem.compile(
         system.graph, system.partition, SpiConfig(transport=args.transport)
     )
@@ -317,7 +255,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    report = run_campaign(config)
+    report = run_campaign(config, workers=args.workers)
     failing = report["failing_seeds"]
     mode = "quick" if config.quick else "full"
     print(
@@ -346,6 +284,129 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         path = write_json(args.out, report)
         print(f"wrote conformance report: {path}")
     return 1 if failing else 0
+
+
+def _parse_param_value(raw: str) -> object:
+    """Best-effort typing for ``--param k=v`` values."""
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _campaign_units(args: argparse.Namespace) -> List[dict]:
+    """Build the unit list for ``repro campaign``."""
+    if args.op == "conform.seed":
+        from repro.conformance import GraphShape
+        import dataclasses
+
+        shape = dataclasses.asdict(GraphShape.parse(args.shape))
+        seeds = args.seeds if args.seeds is not None else 50
+        units = []
+        for index in range(seeds):
+            offset = index % args.distinct if args.distinct else index
+            units.append(
+                {
+                    "seed": args.seed_start + offset,
+                    "iterations": args.iterations,
+                    "quick": args.quick,
+                    "shrink": not args.no_shrink,
+                    "shape": shape,
+                }
+            )
+        return units
+    params = {}
+    for item in args.param or ():
+        if "=" not in item:
+            raise ValueError(
+                f"--param expects KEY=VALUE, got {item!r}"
+            )
+        key, _, value = item.partition("=")
+        params[key] = _parse_param_value(value)
+    return [dict(params) for _ in range(args.count)]
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.service import (
+        CampaignPlan,
+        RegistryError,
+        list_operations,
+        run_service_campaign,
+    )
+
+    if args.list_ops:
+        for operation in list_operations():
+            print(f"{operation.name}: {operation.description}")
+            for param in operation.spec.params:
+                extras = []
+                if param.required:
+                    extras.append("required")
+                else:
+                    extras.append(f"default {param.default!r}")
+                if param.choices:
+                    extras.append(f"one of {list(param.choices)}")
+                if param.minimum is not None:
+                    extras.append(f">= {param.minimum}")
+                print(
+                    f"  {param.name} ({param.type.__name__}, "
+                    f"{', '.join(extras)})"
+                )
+        return 0
+    if not args.op:
+        print("error: --op is required (or use --list-ops)", file=sys.stderr)
+        return 2
+
+    try:
+        units = _campaign_units(args)
+        plan = CampaignPlan(
+            operation=args.op,
+            units=units,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            runs_dir=args.runs_dir,
+            quick=args.quick,
+        )
+        report = run_service_campaign(plan)
+    except (RegistryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    wall = max(report["bench"]["wall_seconds"], 1e-9)
+    cache = report["cache"]
+    print(
+        f"campaign: {report['operation']} x {report['units']} unit(s) on "
+        f"{report['workers']} worker(s): {report['completed']} completed, "
+        f"{len(report['failures'])} failed"
+    )
+    print(
+        f"wall: {wall:.2f} s ({report['units'] / wall:.1f} runs/s), "
+        f"cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.2f})"
+    )
+    failing_cases = 0
+    if args.op == "conform.seed":
+        for result in report["results"]:
+            if result is not None and not result["payload"]["case"]["ok"]:
+                failing_cases += 1
+        if failing_cases:
+            print(f"conformance: {failing_cases} unit(s) with violations")
+    for failure in report["failures"]:
+        first_line = str(failure["error"]).splitlines()[0]
+        print(f"  {failure['run_id']}: {first_line}")
+    if args.out:
+        from repro.observability import write_json
+
+        path = write_json(args.out, report)
+        print(f"wrote campaign report: {path}")
+    return 1 if (report["failures"] or failing_cases) else 0
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -386,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("describe", _cmd_describe, "compilation reports of both apps"),
         ("run", _cmd_run, "instrumented run with trace/metrics export"),
         ("conform", _cmd_conform, "differential conformance campaign"),
+        ("campaign", _cmd_campaign, "sharded campaign of run operations"),
     ):
         command = sub.add_parser(name, help=description)
         command.add_argument(
@@ -452,6 +514,74 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-shrink", action="store_true",
                 help="report failures without shrinking them",
             )
+            command.add_argument(
+                "--workers", type=int, default=1, metavar="N",
+                help="shard the campaign across N processes (default 1)",
+            )
+        if name == "campaign":
+            command.add_argument(
+                "--list-ops", action="store_true",
+                help="list registered operations and their parameters",
+            )
+            command.add_argument(
+                "--op", default=None, metavar="NAME",
+                help="operation to run (see --list-ops)",
+            )
+            command.add_argument(
+                "--seeds", type=int, default=None, metavar="N",
+                help="conform.seed: number of units (default 50)",
+            )
+            command.add_argument(
+                "--seed-start", type=int, default=0, metavar="S",
+                help="conform.seed: first seed (default 0)",
+            )
+            command.add_argument(
+                "--distinct", type=int, default=0, metavar="D",
+                help=(
+                    "conform.seed: cycle through D distinct seeds "
+                    "(repeated-graph workload; 0 = all distinct)"
+                ),
+            )
+            command.add_argument(
+                "--shape", default=None, metavar="K=V,...",
+                help="conform.seed: generator shape overrides",
+            )
+            command.add_argument(
+                "--quick", action="store_true",
+                help="conform.seed: skip the full-mode SPI run matrix",
+            )
+            command.add_argument(
+                "--no-shrink", action="store_true",
+                help="conform.seed: report failures without shrinking",
+            )
+            command.add_argument(
+                "--param", action="append", metavar="K=V",
+                help="operation parameter (repeatable; non-conform ops)",
+            )
+            command.add_argument(
+                "--count", type=int, default=1, metavar="N",
+                help="number of unit replicas for non-conform ops",
+            )
+            command.add_argument(
+                "--workers", type=int, default=1, metavar="N",
+                help="shard pool size (default 1 = inline)",
+            )
+            command.add_argument(
+                "--no-cache", action="store_true",
+                help="disable the content-addressed analysis cache",
+            )
+            command.add_argument(
+                "--cache-dir", metavar="DIR", default=None,
+                help="share cache entries across shards via this directory",
+            )
+            command.add_argument(
+                "--runs-dir", metavar="DIR", default=None,
+                help="persist one run-lifecycle record JSON per unit here",
+            )
+            command.add_argument(
+                "--out", metavar="PATH", default=None,
+                help="write the campaign report JSON here",
+            )
     return parser
 
 
@@ -465,6 +595,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if getattr(args, "pes", 1) < 1:
         print("error: --pes must be >= 1", file=sys.stderr)
+        return 2
+    if getattr(args, "workers", 1) < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     return args.handler(args)
 

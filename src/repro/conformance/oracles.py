@@ -44,7 +44,6 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.conformance.reference import run_reference
 from repro.conformance.spec import ConformanceCase
-from repro.dataflow.sdf import repetitions_vector
 from repro.mpi.baseline import MpiSystem
 from repro.spi.runtime import ChannelPlan, SpiConfig, SpiSystem
 
@@ -167,8 +166,15 @@ def run_oracle_stack(
     quick: bool = False,
     occupancy_bound_fn: Optional[Callable[[ChannelPlan], int]] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    cache=None,
 ) -> OracleReport:
-    """Run every execution mode of ``case`` and cross-check them."""
+    """Run every execution mode of ``case`` and cross-check them.
+
+    ``cache`` is an optional :class:`repro.service.AnalysisCache`
+    passed through to every SPI compile; the oracles themselves are
+    cache-agnostic (cached and uncached runs must produce identical
+    verdicts — the service test suite enforces exactly that).
+    """
     bound_fn = occupancy_bound_fn or default_occupancy_bound
     report = OracleReport(seed=case.spec.seed)
 
@@ -187,7 +193,9 @@ def run_oracle_stack(
     spi_results: Dict[str, object] = {}
     for label, config in _spi_run_matrix(quick):
         try:
-            system = SpiSystem.compile(case.graph, case.partition, config)
+            system = SpiSystem.compile(
+                case.graph, case.partition, config, cache=cache
+            )
             case.tap.begin(label)
             result = system.run(
                 iterations=iterations,
@@ -227,7 +235,7 @@ def run_oracle_stack(
                 )
 
         insertion_graph = system.insertion.graph
-        reps = repetitions_vector(insertion_graph)
+        reps = system.task_repetitions()
         expected_messages = iterations * sum(
             reps[plan.send_actor] for plan in system.channel_plans.values()
         )

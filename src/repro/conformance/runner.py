@@ -6,6 +6,13 @@ turned into a case by the generator, run through the oracle stack, with
 any violation shrunk to a minimal spec and rendered as replay JSON plus
 a generated pytest repro.
 
+Since PR 6 the runner is a thin client of :mod:`repro.service`: every
+seed becomes one ``conform.seed`` operation unit executed through the
+campaign engine — optionally across a multiprocess shard pool
+(``workers > 1``) with a shared content-addressed analysis cache.  An
+operation-level crash is isolated per seed and surfaces as a
+``service``-oracle violation instead of killing the campaign.
+
 The report (schema ``repro.conformance/1``) embeds a standard
 observability bench document (schema ``repro.bench/1``), so campaign
 wall-time and aggregate simulated cycles flow into the same BENCH-style
@@ -14,24 +21,14 @@ artefact stream the perf jobs gate on.
 
 from __future__ import annotations
 
-import time
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.conformance.generator import GraphShape, generate_spec
-from repro.conformance.oracles import (
-    DEFAULT_MAX_CYCLES,
-    OracleReport,
-    Violation,
-    run_oracle_stack,
-)
-from repro.conformance.shrinker import (
-    oracle_failure_predicate,
-    render_pytest_repro,
-    shrink,
-)
-from repro.conformance.spec import GraphSpec, SpecError, build_case
+from repro.conformance.generator import GraphShape
+from repro.conformance.oracles import DEFAULT_MAX_CYCLES
 from repro.observability.bench import bench_document
+from repro.service.campaign import CampaignPlan, run_service_campaign
 
 __all__ = ["CampaignConfig", "run_campaign", "replay_seed", "REPORT_SCHEMA"]
 
@@ -58,87 +55,95 @@ class CampaignConfig:
             raise ValueError("iterations must be >= 1")
 
 
-def _check_seed(seed: int, config: CampaignConfig) -> OracleReport:
-    """Build and run the oracle stack for one seed."""
-    spec = generate_spec(seed, config.shape)
-    try:
-        case = build_case(spec)
-    except SpecError as exc:
-        # a generator bug, not a semantics bug — still a campaign failure
-        report = OracleReport(seed=seed)
-        report.violations.append(Violation("generator", "build", str(exc)))
-        return report
-    return run_oracle_stack(
-        case,
-        iterations=config.iterations,
-        quick=config.quick,
-        max_cycles=config.max_cycles,
-    )
-
-
-def _shrink_failure(
-    seed: int, report: OracleReport, config: CampaignConfig
-) -> Optional[Dict[str, object]]:
-    """Shrink the first violation of ``seed`` to a minimal spec."""
-    target = report.violations[0].oracle
-    if target == "generator":
-        return None
-    predicate = oracle_failure_predicate(
-        target,
-        iterations=config.iterations,
-        quick=config.quick,
-        max_cycles=config.max_cycles,
-    )
-    spec = generate_spec(seed, config.shape)
-    if not predicate(spec):
-        # flaky failure (should not happen: everything is seeded)
-        return None
-    result = shrink(spec, predicate)
+def _crash_case(seed: int, error: str) -> Dict[str, object]:
+    """Render an operation-level crash as a failing case entry."""
     return {
-        "oracle": target,
-        "actors": len(result.spec.actors),
-        "edges": len(result.spec.edges),
-        "steps": result.steps,
-        "attempts": result.attempts,
-        "spec": result.spec.to_json(),
-        "pytest_repro": render_pytest_repro(result.spec, target),
+        "seed": seed,
+        "ok": False,
+        "violations": [
+            {"oracle": "service", "run": "shard", "detail": error}
+        ],
+        "runs": {},
     }
 
 
-def run_campaign(config: CampaignConfig) -> Dict[str, object]:
-    """Run the campaign and return the ``repro.conformance/1`` report."""
-    started = time.monotonic()
+def run_campaign(
+    config: CampaignConfig,
+    workers: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    runs_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the campaign and return the ``repro.conformance/1`` report.
+
+    ``workers > 1`` shards the seeds across processes; the report
+    contents (modulo wall time and cache scheduling statistics) do not
+    depend on the worker count.
+    """
+    shape_json = dataclasses.asdict(config.shape)
+    seeds = list(range(config.seed_start, config.seed_start + config.seeds))
+    plan = CampaignPlan(
+        operation="conform.seed",
+        units=[
+            {
+                "seed": seed,
+                "iterations": config.iterations,
+                "quick": config.quick,
+                "shrink": config.shrink,
+                "max_cycles": config.max_cycles,
+                "shape": shape_json,
+            }
+            for seed in seeds
+        ],
+        workers=workers,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        runs_dir=runs_dir,
+        quick=config.quick,
+        name="conformance",
+    )
+    service_report = run_service_campaign(plan)
+
     failures: List[Dict[str, object]] = []
     cases: List[Dict[str, object]] = []
     total_cycles = 0
     by_oracle: Dict[str, int] = {}
-
-    for seed in range(config.seed_start, config.seed_start + config.seeds):
-        report = _check_seed(seed, config)
+    crash_errors = {
+        f["index"]: f["error"] for f in service_report["failures"]
+    }
+    for index, (seed, result) in enumerate(
+        zip(seeds, service_report["results"])
+    ):
+        if result is None:
+            # crashed shard / raising operation: isolated to this seed
+            case = _crash_case(
+                seed, crash_errors.get(index, "operation failed")
+            )
+        else:
+            case = result["payload"]["case"]
         total_cycles += sum(
-            int(run.get("cycles", 0)) for run in report.runs.values()
+            int(run.get("cycles", 0)) for run in case["runs"].values()
         )
-        cases.append(report.to_json())
-        if report.ok:
+        cases.append(case)
+        if case["ok"]:
             continue
-        for violation in report.violations:
-            by_oracle[violation.oracle] = by_oracle.get(violation.oracle, 0) + 1
+        for violation in case["violations"]:
+            by_oracle[violation["oracle"]] = (
+                by_oracle.get(violation["oracle"], 0) + 1
+            )
         entry: Dict[str, object] = {
             "seed": seed,
-            "violations": [v.to_json() for v in report.violations],
+            "violations": case["violations"],
         }
-        if config.shrink:
-            shrunk = _shrink_failure(seed, report, config)
-            if shrunk is not None:
-                entry["shrunk"] = shrunk
+        if result is not None and "shrunk" in result["payload"]:
+            entry["shrunk"] = result["payload"]["shrunk"]
         failures.append(entry)
 
-    wall = time.monotonic() - started
     bench = bench_document(
         name="conformance_campaign",
         makespan_cycles=total_cycles,
         iteration_period_cycles=0.0,
-        wall_seconds=wall,
+        wall_seconds=service_report["bench"]["wall_seconds"],
         quick=config.quick,
         extra={
             "seeds": config.seeds,
@@ -169,6 +174,8 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
         "failing_seeds": [f["seed"] for f in failures],
         "failures": failures,
         "cases": cases,
+        "workers": workers,
+        "cache": service_report["cache"],
         "bench": bench,
     }
 

@@ -1,0 +1,67 @@
+"""Run service: operation registry, shard pool, analysis cache, campaigns.
+
+The service layer turns one-shot runs into *campaigns*: named,
+parameter-validated operations (:mod:`repro.service.registry`,
+:mod:`repro.service.operations`) executed across a work-stealing
+multiprocess shard pool (:mod:`repro.service.shards`) with per-run
+lifecycle records (:mod:`repro.service.lifecycle`) and a
+content-addressed analysis cache (:mod:`repro.service.cache`) so each
+distinct graph is analysed once per campaign, not once per run.
+"""
+
+from repro.service.cache import (
+    AnalysisCache,
+    CacheReplayError,
+    analysis_key,
+    graph_fingerprint,
+)
+from repro.service.campaign import (
+    CAMPAIGN_SCHEMA,
+    CampaignPlan,
+    run_service_campaign,
+)
+from repro.service.lifecycle import (
+    RUN_SCHEMA,
+    LifecycleError,
+    RunRecord,
+    RunStore,
+)
+from repro.service.registry import (
+    Operation,
+    OperationResult,
+    OperationSpec,
+    Param,
+    RegistryError,
+    RunContext,
+    get_operation,
+    list_operations,
+    register_operation,
+    run_operation,
+)
+from repro.service.shards import ShardPool, UnitResult
+
+__all__ = [
+    "AnalysisCache",
+    "CAMPAIGN_SCHEMA",
+    "CacheReplayError",
+    "CampaignPlan",
+    "LifecycleError",
+    "Operation",
+    "OperationResult",
+    "OperationSpec",
+    "Param",
+    "RegistryError",
+    "RUN_SCHEMA",
+    "RunContext",
+    "RunRecord",
+    "RunStore",
+    "ShardPool",
+    "UnitResult",
+    "analysis_key",
+    "get_operation",
+    "graph_fingerprint",
+    "list_operations",
+    "register_operation",
+    "run_operation",
+    "run_service_campaign",
+]

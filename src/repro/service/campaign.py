@@ -1,0 +1,232 @@
+"""Campaign engine: fan validated operation units across shard pools.
+
+A :class:`CampaignPlan` is a list of parameter dicts for one registered
+operation plus execution policy (worker count, cache sharing, record
+persistence).  :func:`run_service_campaign` turns every unit into a
+:class:`~repro.service.lifecycle.RunRecord`, executes the units through
+the :class:`~repro.service.shards.ShardPool` (inline when
+``workers=1``), and aggregates the outcome into a ``repro.campaign/1``
+report embedding the standard bench document and the cache hit/miss
+counters rendered through the observability metrics registry.
+
+Cache topology: each shard process holds one in-memory
+:class:`~repro.service.cache.AnalysisCache`; when the plan names a
+``cache_dir`` the shards additionally share entries through the disk
+tier, so a graph analysed once is analysed once per *campaign*, not
+once per shard.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.observability.bench import bench_document
+from repro.observability.metrics import MetricsRegistry
+from repro.service.cache import AnalysisCache
+from repro.service.lifecycle import RunRecord, RunStore
+from repro.service.registry import RunContext, get_operation, run_operation
+from repro.service.shards import ShardPool, UnitResult
+
+__all__ = ["CampaignPlan", "run_service_campaign", "CAMPAIGN_SCHEMA"]
+
+#: schema identifier of service campaign reports
+CAMPAIGN_SCHEMA = "repro.campaign/1"
+
+
+@dataclass
+class CampaignPlan:
+    """Everything needed to execute one campaign."""
+
+    operation: str
+    units: List[Dict[str, object]]
+    workers: int = 1
+    use_cache: bool = True
+    #: disk tier shared by all shards (None: per-process memory only)
+    cache_dir: Optional[str] = None
+    #: directory for persisted run-lifecycle records (None: in-memory)
+    runs_dir: Optional[str] = None
+    #: bench-document flavour flag
+    quick: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise ValueError("a campaign needs at least one unit")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    @property
+    def label(self) -> str:
+        return self.name or self.operation.replace(".", "_")
+
+
+#: per-process cache instances, keyed by campaign token so repeated
+#: campaigns in one process (tests, notebooks) stay independent
+_PROCESS_CACHES: Dict[str, AnalysisCache] = {}
+
+
+def _campaign_worker(unit) -> Dict[str, object]:
+    """Execute one (operation, params) unit in the current process."""
+    token, operation, params, cache_dir, use_cache = unit
+    cache: Optional[AnalysisCache] = None
+    if use_cache:
+        cache = _PROCESS_CACHES.get(token)
+        if cache is None:
+            cache = AnalysisCache(path=cache_dir)
+            _PROCESS_CACHES[token] = cache
+    before_hits = cache.total_hits if cache else 0
+    before_misses = cache.total_misses if cache else 0
+    before_kind = (
+        {k: (cache.hits[k], cache.misses[k]) for k in cache.KINDS}
+        if cache
+        else {}
+    )
+    result = run_operation(operation, params, RunContext(cache=cache))
+    delta: Dict[str, object] = {
+        "hits": (cache.total_hits - before_hits) if cache else 0,
+        "misses": (cache.total_misses - before_misses) if cache else 0,
+        "by_kind": {
+            kind: {
+                "hits": cache.hits[kind] - before_kind[kind][0],
+                "misses": cache.misses[kind] - before_kind[kind][1],
+            }
+            for kind in (cache.KINDS if cache else ())
+        },
+    }
+    return {
+        "status": result.status,
+        "payload": result.payload,
+        "metrics": result.metrics,
+        "cache": delta,
+    }
+
+
+def run_service_campaign(plan: CampaignPlan) -> Dict[str, object]:
+    """Execute the plan; returns the ``repro.campaign/1`` report."""
+    operation = get_operation(plan.operation)
+    # Validate every unit up front: a malformed unit is a caller bug
+    # and should fail the campaign before any shard is spawned.
+    validated = [operation.spec.validate(dict(unit)) for unit in plan.units]
+
+    store = RunStore(plan.runs_dir) if plan.runs_dir else None
+    records = [
+        RunRecord(
+            run_id=f"{plan.label}-{index:05d}",
+            operation=plan.operation,
+            params=params,
+        )
+        for index, params in enumerate(validated)
+    ]
+    if store is not None:
+        for record in records:
+            store.save(record)
+
+    def on_start(index: int, shard: int) -> None:
+        records[index].mark_running(shard=shard)
+        if store is not None:
+            store.save(records[index])
+
+    def on_result(result: UnitResult) -> None:
+        record = records[result.index]
+        if record.state == "queued":
+            # Crash recovery can deliver a failure for a unit whose
+            # "start" event was lost with its shard.
+            record.mark_running(shard=result.shard)
+        if result.ok and result.value["status"] == "completed":
+            record.mark_done(metrics=result.value.get("metrics", {}))
+        else:
+            record.mark_failed(
+                result.error or str(result.value.get("payload", ""))
+            )
+        if store is not None:
+            store.save(record)
+
+    token = uuid.uuid4().hex
+    units = [
+        (token, plan.operation, params, plan.cache_dir, plan.use_cache)
+        for params in validated
+    ]
+    pool = ShardPool(workers=plan.workers)
+    started = time.monotonic()
+    results = pool.run(
+        _campaign_worker, units, on_start=on_start, on_result=on_result
+    )
+    wall = time.monotonic() - started
+    _PROCESS_CACHES.pop(token, None)
+
+    cache_stats = _aggregate_cache(results)
+    failures = [
+        {"index": r.index, "run_id": records[r.index].run_id, "error": r.error}
+        for r in results
+        if not r.ok
+    ]
+    total_cycles = sum(
+        int(r.value["metrics"].get("cycles", 0)) for r in results if r.ok
+    )
+
+    registry = MetricsRegistry()
+    registry.counter("service.campaign.units").inc(len(results))
+    registry.counter("service.campaign.completed").inc(
+        len(results) - len(failures)
+    )
+    registry.counter("service.campaign.failed").inc(len(failures))
+    for kind, counts in cache_stats["by_kind"].items():
+        registry.counter("service.cache.hits", kind=kind).inc(counts["hits"])
+        registry.counter("service.cache.misses", kind=kind).inc(
+            counts["misses"]
+        )
+
+    bench = bench_document(
+        name=f"campaign_{plan.label}",
+        makespan_cycles=total_cycles,
+        iteration_period_cycles=0.0,
+        wall_seconds=wall,
+        quick=plan.quick,
+        extra={
+            "operation": plan.operation,
+            "units": len(results),
+            "workers": plan.workers,
+            "failed": len(failures),
+        },
+    )
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "operation": plan.operation,
+        "units": len(results),
+        "workers": plan.workers,
+        "completed": len(results) - len(failures),
+        "failures": failures,
+        "results": [r.value if r.ok else None for r in results],
+        "cache": cache_stats,
+        "counters": registry.as_dict(),
+        "records": [record.to_json() for record in records],
+        "bench": bench,
+    }
+
+
+def _aggregate_cache(results: List[UnitResult]) -> Dict[str, object]:
+    """Sum the per-unit cache deltas reported by the shards."""
+    by_kind: Dict[str, Dict[str, int]] = {
+        kind: {"hits": 0, "misses": 0} for kind in AnalysisCache.KINDS
+    }
+    hits = misses = 0
+    for result in results:
+        if not result.ok:
+            continue
+        delta = result.value.get("cache", {})
+        hits += delta.get("hits", 0)
+        misses += delta.get("misses", 0)
+        for kind, counts in delta.get("by_kind", {}).items():
+            bucket = by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+            bucket["hits"] += counts.get("hits", 0)
+            bucket["misses"] += counts.get("misses", 0)
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / total if total else 0.0,
+        "by_kind": by_kind,
+    }

@@ -1,0 +1,190 @@
+"""Named, parameter-validated run operations.
+
+Everything a campaign can execute — an oracle-stack seed check, an
+instrumented app simulation, a figure measurement point, a resync
+ablation — is an :class:`Operation`: a named callable with a
+declarative parameter spec.  The spec validates a plain-JSON parameter
+dict *before* any work starts, so malformed campaign units fail fast in
+the parent process with a useful message instead of crashing a shard.
+
+The registry keeps operations addressable by name, which is what lets
+the shard pool ship ``(operation name, params)`` pairs across process
+boundaries as plain picklable data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Operation",
+    "OperationResult",
+    "OperationSpec",
+    "Param",
+    "RegistryError",
+    "RunContext",
+    "get_operation",
+    "list_operations",
+    "register_operation",
+    "run_operation",
+]
+
+
+class RegistryError(ValueError):
+    """Unknown operation, or parameters that violate its spec."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """Declarative description of one operation parameter."""
+
+    name: str
+    type: type
+    default: object = None
+    required: bool = False
+    minimum: Optional[int] = None
+    choices: Optional[Tuple[object, ...]] = None
+    help: str = ""
+
+    def validate(self, value: object) -> object:
+        # None means "use the default" for optional params whose default
+        # IS None — this keeps spec.validate idempotent, so an already
+        # defaulted dict (e.g. a campaign unit validated in the parent,
+        # re-validated in the shard) passes unchanged.
+        if value is None and not self.required and self.default is None:
+            return None
+        # bool is an int subclass; an explicit int param must reject it
+        if self.type is int and isinstance(value, bool):
+            raise RegistryError(
+                f"parameter {self.name!r}: expected int, got bool"
+            )
+        if not isinstance(value, self.type):
+            raise RegistryError(
+                f"parameter {self.name!r}: expected "
+                f"{self.type.__name__}, got {type(value).__name__}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise RegistryError(
+                f"parameter {self.name!r}: {value} is below the "
+                f"minimum {self.minimum}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise RegistryError(
+                f"parameter {self.name!r}: {value!r} not in "
+                f"{list(self.choices)}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """The full parameter contract of one operation."""
+
+    params: Tuple[Param, ...] = ()
+
+    def validate(self, values: Dict[str, object]) -> Dict[str, object]:
+        """Return a complete, defaulted, validated parameter dict."""
+        known = {param.name: param for param in self.params}
+        unknown = sorted(set(values) - set(known))
+        if unknown:
+            raise RegistryError(
+                f"unknown parameter(s) {unknown}; "
+                f"expected {sorted(known)}"
+            )
+        resolved: Dict[str, object] = {}
+        for param in self.params:
+            if param.name in values:
+                resolved[param.name] = param.validate(values[param.name])
+            elif param.required:
+                raise RegistryError(
+                    f"missing required parameter {param.name!r}"
+                )
+            else:
+                resolved[param.name] = param.default
+        return resolved
+
+
+@dataclass
+class RunContext:
+    """Per-process execution context handed to every operation."""
+
+    #: optional :class:`repro.service.AnalysisCache`
+    cache: object = None
+
+
+@dataclass
+class OperationResult:
+    """What one operation execution produced."""
+
+    status: str  # "completed" | "failed"
+    payload: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "completed"
+
+
+class Operation:
+    """Base class: subclass, set ``name``/``spec``, implement ``execute``.
+
+    ``execute`` receives the validated parameter dict and the context;
+    it returns an :class:`OperationResult` whose payload must be plain
+    JSON-serialisable data (it crosses process boundaries).
+    """
+
+    name: str = ""
+    description: str = ""
+    spec: OperationSpec = OperationSpec()
+
+    def execute(
+        self, params: Dict[str, object], context: RunContext
+    ) -> OperationResult:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Operation] = {}
+
+
+def register_operation(cls: type) -> type:
+    """Class decorator: instantiate and register an operation."""
+    instance = cls()
+    if not instance.name:
+        raise RegistryError(f"operation class {cls.__name__} has no name")
+    if instance.name in _REGISTRY:
+        raise RegistryError(f"duplicate operation name {instance.name!r}")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def get_operation(name: str) -> Operation:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown operation {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_operations() -> List[Operation]:
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def run_operation(
+    name: str,
+    params: Optional[Dict[str, object]] = None,
+    context: Optional[RunContext] = None,
+) -> OperationResult:
+    """Validate ``params`` against the named spec and execute."""
+    operation = get_operation(name)
+    resolved = operation.spec.validate(dict(params or {}))
+    return operation.execute(resolved, context or RunContext())
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in operations exactly once (registration is a
+    side effect of the module import)."""
+    from repro.service import operations  # noqa: F401

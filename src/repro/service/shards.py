@@ -1,0 +1,245 @@
+"""Multiprocess shard pool: work stealing, per-shard failure isolation.
+
+The pool fans a list of picklable work units across ``workers``
+processes.  Scheduling is *pull-based*: every shard takes its next unit
+from one shared queue the moment it goes idle, so a shard that drew
+only cheap units automatically steals the work a slow shard would
+otherwise serialise — classic work stealing without any balancing
+logic in the parent.
+
+Failure isolation is two-layered:
+
+* an **exception** inside a unit is caught in the shard, reported as a
+  failed :class:`UnitResult`, and the shard moves on;
+* a **crashed shard** (hard exit, ``os._exit``, OOM kill) is detected
+  by the parent via process liveness, its in-flight unit is marked
+  failed, and a replacement shard is spawned (bounded by a respawn
+  budget so a poison unit cannot respawn forever).
+
+``workers=1`` executes everything inline in the calling process — no
+fork, fully deterministic, and the right default on single-core CI
+runners.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["ShardPool", "UnitResult"]
+
+
+@dataclass
+class UnitResult:
+    """Outcome of one work unit."""
+
+    index: int
+    ok: bool
+    value: object = None
+    error: Optional[str] = None
+    shard: int = 0
+    wall_seconds: float = 0.0
+
+
+def _shard_main(shard: int, worker, tasks, results) -> None:
+    """Shard process body: pull units until the queue is drained."""
+    while True:
+        try:
+            item = tasks.get(timeout=0.05)
+        except queue.Empty:
+            continue
+        if item is None:
+            results.put(("exit", shard, None))
+            return
+        index, unit = item
+        results.put(("start", shard, index))
+        started = time.monotonic()
+        try:
+            value = worker(unit)
+        except Exception as exc:
+            results.put(
+                (
+                    "result",
+                    shard,
+                    UnitResult(
+                        index=index,
+                        ok=False,
+                        error=(
+                            f"{type(exc).__name__}: {exc}\n"
+                            + traceback.format_exc(limit=8)
+                        ),
+                        shard=shard,
+                        wall_seconds=time.monotonic() - started,
+                    ),
+                )
+            )
+        else:
+            results.put(
+                (
+                    "result",
+                    shard,
+                    UnitResult(
+                        index=index,
+                        ok=True,
+                        value=value,
+                        shard=shard,
+                        wall_seconds=time.monotonic() - started,
+                    ),
+                )
+            )
+
+
+class ShardPool:
+    """Run picklable units through ``workers`` shard processes."""
+
+    def __init__(self, workers: int = 1, max_respawns: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.max_respawns = max_respawns
+
+    def run(
+        self,
+        worker: Callable[[object], object],
+        units: Sequence[object],
+        on_start: Optional[Callable[[int, int], None]] = None,
+        on_result: Optional[Callable[[UnitResult], None]] = None,
+    ) -> List[UnitResult]:
+        """Execute every unit; returns results ordered by unit index.
+
+        ``on_start(index, shard)`` and ``on_result(result)`` fire in
+        the parent as the campaign progresses (lifecycle bookkeeping).
+        """
+        if self.workers == 1:
+            return self._run_inline(worker, units, on_start, on_result)
+        return self._run_sharded(worker, units, on_start, on_result)
+
+    def _run_inline(self, worker, units, on_start, on_result) -> List[UnitResult]:
+        results: List[UnitResult] = []
+        for index, unit in enumerate(units):
+            if on_start is not None:
+                on_start(index, 0)
+            started = time.monotonic()
+            try:
+                value = worker(unit)
+            except Exception as exc:
+                result = UnitResult(
+                    index=index,
+                    ok=False,
+                    error=(
+                        f"{type(exc).__name__}: {exc}\n"
+                        + traceback.format_exc(limit=8)
+                    ),
+                    wall_seconds=time.monotonic() - started,
+                )
+            else:
+                result = UnitResult(
+                    index=index,
+                    ok=True,
+                    value=value,
+                    wall_seconds=time.monotonic() - started,
+                )
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    def _run_sharded(self, worker, units, on_start, on_result) -> List[UnitResult]:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context("spawn")
+        tasks = ctx.Queue()
+        results_q = ctx.Queue()
+        for index, unit in enumerate(units):
+            tasks.put((index, unit))
+        n_shards = min(self.workers, max(1, len(units)))
+        for _ in range(n_shards):
+            tasks.put(None)
+
+        def spawn(shard_id: int):
+            process = ctx.Process(
+                target=_shard_main,
+                args=(shard_id, worker, tasks, results_q),
+                daemon=True,
+            )
+            process.start()
+            return process
+
+        shards: Dict[int, object] = {i: spawn(i) for i in range(n_shards)}
+        in_flight: Dict[int, int] = {}  # shard -> unit index
+        collected: Dict[int, UnitResult] = {}
+        respawns = 0
+        next_shard_id = n_shards
+
+        def deliver(result: UnitResult) -> None:
+            collected[result.index] = result
+            if on_result is not None:
+                on_result(result)
+
+        while len(collected) < len(units) and shards:
+            try:
+                kind, shard, payload = results_q.get(timeout=0.2)
+            except queue.Empty:
+                # No progress: check for crashed shards and recover
+                # their in-flight unit.
+                dead = [
+                    sid
+                    for sid, process in shards.items()
+                    if not process.is_alive()
+                ]
+                for sid in dead:
+                    process = shards.pop(sid)
+                    lost = in_flight.pop(sid, None)
+                    if lost is not None and lost not in collected:
+                        deliver(
+                            UnitResult(
+                                index=lost,
+                                ok=False,
+                                error=(
+                                    f"shard {sid} crashed "
+                                    f"(exit code {process.exitcode}) "
+                                    f"while running unit {lost}"
+                                ),
+                                shard=sid,
+                            )
+                        )
+                    if respawns < self.max_respawns:
+                        respawns += 1
+                        shards[next_shard_id] = spawn(next_shard_id)
+                        next_shard_id += 1
+                continue
+            if kind == "start":
+                in_flight[shard] = payload
+                if on_start is not None:
+                    on_start(payload, shard)
+            elif kind == "result":
+                in_flight.pop(shard, None)
+                deliver(payload)
+            elif kind == "exit":
+                process = shards.pop(shard, None)
+                if process is not None:
+                    process.join(timeout=5)
+
+        for process in shards.values():
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck shard
+                process.terminate()
+
+        # Anything never delivered (all shards died, respawn budget
+        # exhausted) is a failed unit, not a hang.
+        for index in range(len(units)):
+            if index not in collected:
+                deliver(
+                    UnitResult(
+                        index=index,
+                        ok=False,
+                        error="unit was never executed (shard pool drained "
+                        "after repeated shard crashes)",
+                    )
+                )
+        return [collected[index] for index in range(len(units))]

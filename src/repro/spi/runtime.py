@@ -191,6 +191,9 @@ class SpiSystem:
         sync_graph: SynchronizationGraph,
         channel_plans: Dict[str, ChannelPlan],
         resync_result: Optional[ResynchronizationResult],
+        cache=None,
+        analysis_key: Optional[str] = None,
+        structure_key: Optional[str] = None,
     ) -> None:
         self.source_graph = source_graph
         self.partition = partition
@@ -201,6 +204,13 @@ class SpiSystem:
         self.sync_graph = sync_graph
         self.channel_plans = channel_plans
         self.resync_result = resync_result
+        #: optional repro.service AnalysisCache (duck-typed: anything
+        #: with the same repetitions/mcm/resynchronize surface works)
+        self._analysis_cache = cache
+        self._analysis_key = analysis_key
+        self._structure_key = structure_key
+        self._task_repetitions: Optional[Dict[str, int]] = None
+        self._mcm_bound: Optional[float] = None
 
     # -- compilation -------------------------------------------------------
 
@@ -210,10 +220,24 @@ class SpiSystem:
         graph: DataflowGraph,
         partition: Partition,
         config: Optional[SpiConfig] = None,
+        cache=None,
     ) -> "SpiSystem":
-        """Run the full SPI methodology on ``graph`` + ``partition``."""
+        """Run the full SPI methodology on ``graph`` + ``partition``.
+
+        ``cache`` is an optional content-addressed analysis cache (see
+        :class:`repro.service.AnalysisCache`): repetitions vectors,
+        channel-plan decisions, resynchronization solutions and the MCM
+        bound are looked up by graph content instead of recomputed.
+        Graphs without canonical content (callable cycle models) bypass
+        it transparently.
+        """
         config = config or SpiConfig()
         graph.validate()
+
+        analysis_key = structure_key = None
+        if cache is not None:
+            analysis_key = cache.key_for(graph, partition, config)
+            structure_key = cache.structure_key_for(graph, partition, config)
 
         conversion: Optional[VtsConversion] = None
         static_graph = graph
@@ -234,8 +258,11 @@ class SpiSystem:
         ipc_graph = build_ipc_graph(schedule)
         sync_graph = derive_sync_graph(ipc_graph)
 
+        decisions = None
+        if cache is not None:
+            decisions = cache.channel_decisions(analysis_key)
         channel_plans = cls._plan_channels(
-            insertion, schedule, sync_graph, config
+            insertion, schedule, sync_graph, config, decisions=decisions
         )
 
         # UBS channels synchronize backwards through ack edges; add them to
@@ -266,7 +293,10 @@ class SpiSystem:
 
         resync_result: Optional[ResynchronizationResult] = None
         if config.resynchronize:
-            resync_result = resynchronize(sync_graph)
+            if cache is not None:
+                resync_result = cache.resynchronize(analysis_key, sync_graph)
+            else:
+                resync_result = resynchronize(sync_graph)
             surviving_acks = {
                 e.origin_edge
                 for e in resync_result.graph.edges
@@ -279,6 +309,12 @@ class SpiSystem:
                 ):
                     plan.acks_enabled = plan.origin_edge_name in surviving_acks
 
+        if cache is not None and decisions is None:
+            # Store the *final* decisions (post-resync ack adjustment):
+            # replaying them is only sound together with the cached
+            # resynchronization solution, which shares this key.
+            cache.store_channel_decisions(analysis_key, channel_plans)
+
         return cls(
             source_graph=graph,
             partition=partition,
@@ -289,6 +325,9 @@ class SpiSystem:
             sync_graph=sync_graph,
             channel_plans=channel_plans,
             resync_result=resync_result,
+            cache=cache,
+            analysis_key=analysis_key,
+            structure_key=structure_key,
         )
 
     @staticmethod
@@ -328,6 +367,7 @@ class SpiSystem:
         schedule: SelfTimedSchedule,
         sync_graph: SynchronizationGraph,
         config: SpiConfig,
+        decisions: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> Dict[str, ChannelPlan]:
         """Select protocol and capacity for every interprocessor edge.
 
@@ -338,8 +378,14 @@ class SpiSystem:
         to the sender (the path that throttles the sender).  When no
         such path exists — or the bound is impractically large — SPI
         falls back to UBS with an acknowledgment window.
+
+        ``decisions`` replays previously cached per-channel decisions,
+        skipping the all-pairs min-delay analysis entirely; channels
+        missing from it (stale entry) fall back to the computed path.
         """
-        rho = sync_graph.min_delay_paths()
+        rho: Optional[Dict[str, Dict[str, int]]] = (
+            None if decisions is not None else sync_graph.min_delay_paths()
+        )
         plans: Dict[str, ChannelPlan] = {}
         for origin_name, (ipc_edge, pair, dynamic) in insertion.channels.items():
             src_pe = insertion.partition.assignment[pair.send]
@@ -360,10 +406,29 @@ class SpiSystem:
                     acks_enabled=False,
                 ),
             )
-            feedback = rho.get(recv_task, {}).get(send_task)
             delay_msgs = ipc_edge.delay // max(1, ipc_edge.source.rate)
             payload_bytes = ipc_edge.source.rate * ipc_edge.token_bytes
             msgs_per_iter = cls._messages_per_iteration(schedule, pair.send)
+
+            cached = decisions.get(origin_name) if decisions is not None else None
+            if cached is not None:
+                plans[origin_name] = ChannelPlan(
+                    origin_edge_name=origin_name,
+                    ipc_edge=ipc_edge,
+                    send_actor=pair.send,
+                    recv_actor=pair.recv,
+                    src_pe=src_pe,
+                    dst_pe=dst_pe,
+                    dynamic=dynamic,
+                    protocol=cached["protocol"],
+                    capacity_messages=cached["capacity_messages"],
+                    message_payload_bytes=payload_bytes,
+                    acks_enabled=cached["acks_enabled"],
+                )
+                continue
+            if rho is None:
+                rho = sync_graph.min_delay_paths()
+            feedback = rho.get(recv_task, {}).get(send_task)
 
             if (
                 config.protocol_policy == "auto"
@@ -532,9 +597,7 @@ class SpiSystem:
             task_for(actor)
         sync_pools: List[SyncTokenPool] = []
         if self.resync_result is not None:
-            from repro.dataflow.sdf import repetitions_vector
-
-            task_reps = repetitions_vector(self.insertion.graph)
+            task_reps = self.task_repetitions()
             for added in self.resync_result.added:
                 src_task = self.schedule.task_graph.get_actor(added.src)
                 snk_task = self.schedule.task_graph.get_actor(added.snk)
@@ -704,14 +767,41 @@ class SpiSystem:
 
     # -- analysis -----------------------------------------------------------
 
+    def task_repetitions(self) -> Dict[str, int]:
+        """Repetitions vector of the SPI-inserted graph (memoised)."""
+        if self._task_repetitions is None:
+            from repro.dataflow.sdf import repetitions_vector
+
+            def compute() -> Dict[str, int]:
+                return repetitions_vector(self.insertion.graph)
+
+            if self._analysis_cache is not None:
+                self._task_repetitions = self._analysis_cache.repetitions(
+                    self._structure_key, compute
+                )
+            else:
+                self._task_repetitions = compute()
+        return self._task_repetitions
+
     def estimated_iteration_period_cycles(self) -> float:
-        """MCM bound on the steady-state iteration period."""
-        reference = (
-            self.resync_result.graph
-            if self.resync_result is not None
-            else self.sync_graph
-        )
-        return maximum_cycle_mean(reference)
+        """MCM bound on the steady-state iteration period (memoised)."""
+        if self._mcm_bound is None:
+            reference = (
+                self.resync_result.graph
+                if self.resync_result is not None
+                else self.sync_graph
+            )
+
+            def compute() -> float:
+                return maximum_cycle_mean(reference)
+
+            if self._analysis_cache is not None:
+                self._mcm_bound = self._analysis_cache.mcm(
+                    self._analysis_key, compute
+                )
+            else:
+                self._mcm_bound = compute()
+        return self._mcm_bound
 
     def sync_cost_per_iteration(self) -> int:
         """Cross-PE synchronization edges after resynchronization."""

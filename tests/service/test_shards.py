@@ -1,0 +1,92 @@
+"""Shard pool: work distribution, exception and crash isolation."""
+
+import os
+import time
+
+import pytest
+
+from repro.service import ShardPool
+
+
+def _square(unit):
+    return unit * unit
+
+
+def _boom_on_three(unit):
+    if unit == 3:
+        raise RuntimeError("boom on three")
+    return unit * 10
+
+
+def _exit_on_three(unit):
+    if unit == 3:
+        # let the queue feeder thread flush earlier results first, so
+        # the crash takes down exactly one unit
+        time.sleep(0.3)
+        os._exit(13)  # hard crash: no exception, no cleanup
+    return unit * 10
+
+
+class TestInline:
+    def test_runs_everything_in_order(self):
+        results = ShardPool(workers=1).run(_square, [1, 2, 3, 4])
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert all(r.ok for r in results)
+        assert [r.value for r in results] == [1, 4, 9, 16]
+
+    def test_exception_is_isolated_to_its_unit(self):
+        results = ShardPool(workers=1).run(_boom_on_three, [1, 2, 3, 4])
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert "boom on three" in results[2].error
+        assert [r.value for r in results if r.ok] == [10, 20, 40]
+
+    def test_callbacks_fire_per_unit(self):
+        events = []
+        ShardPool(workers=1).run(
+            _square,
+            [5, 6],
+            on_start=lambda index, shard: events.append(("start", index)),
+            on_result=lambda result: events.append(("result", result.index)),
+        )
+        assert events == [
+            ("start", 0),
+            ("result", 0),
+            ("start", 1),
+            ("result", 1),
+        ]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ShardPool(workers=0)
+
+
+class TestMultiprocess:
+    def test_results_ordered_by_unit_index(self):
+        results = ShardPool(workers=2).run(_square, list(range(8)))
+        assert [r.index for r in results] == list(range(8))
+        assert [r.value for r in results] == [i * i for i in range(8)]
+
+    def test_exception_does_not_kill_the_campaign(self):
+        """A unit raising inside a shard fails alone; the shard keeps
+        pulling work and every other unit completes."""
+        results = ShardPool(workers=2).run(
+            _boom_on_three, [1, 2, 3, 4, 5, 6]
+        )
+        by_ok = [r.ok for r in results]
+        assert by_ok == [True, True, False, True, True, True]
+        assert "boom on three" in results[2].error
+
+    def test_crashed_shard_is_isolated_and_replaced(self):
+        """A unit hard-killing its shard process fails alone; the parent
+        detects the dead shard, respawns, and the rest completes."""
+        results = ShardPool(workers=2).run(
+            _exit_on_three, [1, 2, 3, 4, 5, 6, 7, 8]
+        )
+        assert len(results) == 8
+        crashed = [r for r in results if not r.ok]
+        assert [r.index for r in crashed] == [2]
+        assert "crashed" in crashed[0].error
+        completed = [r for r in results if r.ok]
+        assert sorted(r.value for r in completed) == [
+            10, 20, 40, 50, 60, 70, 80,
+        ]

@@ -197,3 +197,123 @@ class TestConformCommand:
             ]
         ) == 0
         assert "checked 2 seed(s)" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_list_ops(self, capsys):
+        assert main(["campaign", "--list-ops"]) == 0
+        out = capsys.readouterr().out
+        for name in ("conform.seed", "simulate.app", "bench.figure",
+                     "ablate.resync"):
+            assert name in out
+        assert "required" in out
+
+    def test_op_is_required(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "--op is required" in capsys.readouterr().err
+
+    def test_unknown_op_rejected(self, capsys):
+        assert main(["campaign", "--op", "no.such.op"]) == 2
+        assert "unknown operation" in capsys.readouterr().err
+
+    def test_malformed_param_rejected(self, capsys):
+        code = main(
+            ["campaign", "--op", "simulate.app",
+             "--param", "app=lpc", "--param", "pes=lots"]
+        )
+        assert code == 2
+        assert "expected int" in capsys.readouterr().err
+
+    def test_zero_workers_rejected(self, capsys):
+        code = main(
+            ["campaign", "--op", "conform.seed", "--seeds", "1",
+             "--workers", "0"]
+        )
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_conform_campaign_with_repeated_graphs(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "campaign.json"
+        runs_dir = tmp_path / "runs"
+        code = main(
+            [
+                "campaign",
+                "--op", "conform.seed",
+                "--seeds", "6",
+                "--distinct", "2",
+                "--quick",
+                "--no-shrink",
+                "--runs-dir", str(runs_dir),
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conform.seed x 6 unit(s)" in out
+        assert "6 completed, 0 failed" in out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro.campaign/1"
+        # 2 distinct graphs x 3 repeats: the cache must carry the rest
+        assert report["cache"]["hits"] > 0
+        assert len(list(runs_dir.glob("*.json"))) == 6
+
+    def test_generic_op_with_count(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--op", "simulate.app",
+                "--param", "app=chain",
+                "--param", "iterations=2",
+                "--count", "2",
+            ]
+        )
+        assert code == 0
+        assert "simulate.app x 2 unit(s)" in capsys.readouterr().out
+
+
+class TestConformExitCodes:
+    """``repro conform`` is a CI gate: its exit code must track the
+    campaign verdict exactly."""
+
+    @staticmethod
+    def _fake_report(failing_seeds):
+        return {
+            "schema": "repro.conformance/1",
+            "checked": 1,
+            "failing_seeds": failing_seeds,
+            "failures": [
+                {
+                    "seed": seed,
+                    "violations": [
+                        {"oracle": "x", "run": "y", "detail": "boom"}
+                    ],
+                }
+                for seed in failing_seeds
+            ],
+            "cases": [],
+            "bench": {"wall_seconds": 0.1, "makespan_cycles": 7},
+        }
+
+    def test_failing_campaign_exits_nonzero(self, capsys, monkeypatch):
+        import repro.conformance
+
+        monkeypatch.setattr(
+            repro.conformance,
+            "run_campaign",
+            lambda config, workers=1: self._fake_report([17]),
+        )
+        assert main(["conform", "--seeds", "1"]) == 1
+        assert "1 failing" in capsys.readouterr().out
+
+    def test_passing_campaign_exits_zero(self, capsys, monkeypatch):
+        import repro.conformance
+
+        monkeypatch.setattr(
+            repro.conformance,
+            "run_campaign",
+            lambda config, workers=1: self._fake_report([]),
+        )
+        assert main(["conform", "--seeds", "1"]) == 0
+        assert "0 failing" in capsys.readouterr().out

@@ -5,19 +5,24 @@ Usage::
 
     python benchmarks/check_kernel_regression.py BASELINE.json CURRENT.json
 
-Two gates, strongest applicable wins:
+Gates, strongest applicable wins:
 
 * **contended floor** (always) — the contended workload's
   targeted/broadcast events-per-second ratio must stay >= 2x.  The
   ratio is machine-independent (both disciplines run on the same box)
   and holds in both quick and full mode, so it is the one gate a quick
   CI run can apply against the committed full-mode baseline.
+* **steady-state floor** (always, on the current document) — the best
+  steady-state auto-vs-off speedup across the fig6/fig7 sweep must
+  stay >= 5x in full mode (2x quick), auto must never be meaningfully
+  slower than off on any application, and the document must report a
+  real (> 0) iteration period for its periodic workload.
 * **per-workload comparison** (same-mode runs only) — when baseline and
   current were produced with the same ``quick`` flag, neither the
   speedup ratio nor the absolute targeted events/sec of any workload
   may regress by more than the tolerance.  Quick-vs-full pairs skip
   this (the win grows with workload size, so the numbers are
-  incomparable) and rely on the floor.
+  incomparable) and rely on the floors.
 
 Exit status 0 = pass, 1 = regression, 2 = unusable input.
 """
@@ -33,6 +38,51 @@ TOLERANCE = 0.20
 
 #: the contended workload must keep this absolute targeted/broadcast win
 CONTENDED_FLOOR = 2.0
+
+#: best fig6/fig7 steady-state auto-vs-off speedup floor, by mode
+STEADY_FLOOR_FULL = 5.0
+STEADY_FLOOR_QUICK = 2.0
+
+#: auto may cost at most this factor over off on a workload where it
+#: declines (tracker/eligibility overhead + timer noise on sub-100ms
+#: walls; best-of-REPEATS keeps real runs well under it)
+STEADY_SLOWDOWN_BOUND = 1.15
+
+
+def check_steady_state(current: dict) -> list:
+    """Current-document steady-state gates (no baseline needed)."""
+    failures = []
+    steady = current["extra"].get("steady_state")
+    if not steady:
+        failures.append(
+            "extra.steady_state sweep missing from the current document"
+        )
+        return failures
+    period = current.get("iteration_period_cycles", 0.0)
+    if not period > 0:
+        failures.append(
+            f"iteration_period_cycles is {period!r}; the kernel bench "
+            f"declares a periodic workload and must report fig6's "
+            f"detected period"
+        )
+    floor = STEADY_FLOOR_QUICK if current.get("quick") else STEADY_FLOOR_FULL
+    best = max(stats["speedup"] for stats in steady.values())
+    if best < floor:
+        failures.append(
+            f"best steady-state auto/off speedup {best:.2f}x fell below "
+            f"the {floor:.1f}x floor"
+        )
+    for fig, stats in sorted(steady.items()):
+        off = stats["off_wall_seconds"]
+        auto = stats["auto_wall_seconds"]
+        if auto > off * STEADY_SLOWDOWN_BOUND:
+            failures.append(
+                f"{fig}: steady-state auto wall {auto:.3f}s exceeds "
+                f"off wall {off:.3f}s by more than "
+                f"{STEADY_SLOWDOWN_BOUND:.2f}x (auto must cost ~nothing "
+                f"when it declines)"
+            )
+    return failures
 
 
 def _load(path: str) -> dict:
@@ -54,6 +104,7 @@ def check(baseline: dict, current: dict) -> list:
             f"contended targeted/broadcast speedup {contended:.2f}x fell "
             f"below the {CONTENDED_FLOOR:.1f}x floor"
         )
+    failures.extend(check_steady_state(current))
 
     if baseline.get("quick") == current.get("quick"):
         for name, base in sorted(base_speedups.items()):
@@ -106,9 +157,12 @@ def main(argv) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
+    steady = current["extra"].get("steady_state") or {}
+    best_steady = max((s["speedup"] for s in steady.values()), default=0.0)
     print(
         "kernel benchmark OK: contended speedup "
-        f"{current['extra']['speedups']['contended']:.2f}x"
+        f"{current['extra']['speedups']['contended']:.2f}x, best "
+        f"steady-state auto/off speedup {best_steady:.2f}x"
     )
     return 0
 

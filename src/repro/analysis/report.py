@@ -217,4 +217,12 @@ def render_metrics_summary(document: Dict) -> str:
         f"{sim.get('broadcast_wakeups', 0)} broadcast, "
         f"{sim.get('spurious_wakeups', 0)} spurious",
     ]
+    detected = sim.get("steady_state_detected_at")
+    if detected is not None:
+        lines.append(
+            f"steady state: detected at iteration {detected}, "
+            f"{sim.get('extrapolated_iterations', 0)} iteration(s) "
+            f"extrapolated, {sim.get('compiled_firings', 0)} compiled "
+            f"firing(s)"
+        )
     return "\n".join(lines)

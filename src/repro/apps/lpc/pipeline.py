@@ -264,18 +264,25 @@ def build_parallel_error_graph(
         error_unit = _ErrorUnit(unit)
         sink = _IoSink(collected, unit)
 
+        # timing_periodic: execution times and production volumes cycle
+        # with the fixed frame list (firing_index % len(frames)), so the
+        # steady-state warp is exact despite the callable cycle models
+        # and dynamic rates.
         src_actor = graph.actor(
             f"io_src_{unit}", kernel=source.kernel, cycles=source.cycles,
-            params={"resources": io_interface_resources(chunk_bytes)},
+            params={"resources": io_interface_resources(chunk_bytes),
+                    "timing_periodic": True},
         )
         d_actor = graph.actor(
             f"D_{unit}", kernel=error_unit.kernel, cycles=error_unit.cycles,
-            params={"resources": error_unit_resources(max_m, chunk_bytes)},
+            params={"resources": error_unit_resources(max_m, chunk_bytes),
+                    "timing_periodic": True},
         )
         snk_actor = graph.actor(
             f"io_snk_{unit}", kernel=sink.kernel, cycles=sink.cycles,
             params={"resources": io_interface_resources(
-                error_bound * SAMPLE_BYTES)},
+                error_bound * SAMPLE_BYTES),
+                    "timing_periodic": True},
         )
 
         src_actor.add_output(

@@ -204,9 +204,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     compiled = SpiSystem.compile(
         system.graph, system.partition, SpiConfig(transport=args.transport)
     )
-    run = compiled.run(iterations=args.iterations, trace=True, metrics=True)
+    # Extrapolated iterations record no task intervals, so steady-state
+    # runs skip the execution trace (and the Chrome-trace export).
+    want_trace = args.steady_state == "off"
+    run = compiled.run(
+        iterations=args.iterations,
+        trace=want_trace,
+        metrics=True,
+        steady_state=args.steady_state,
+    )
     print(render_metrics_summary(run.metrics))
-    if args.trace_out:
+    if args.trace_out and run.trace is None:
+        print(
+            "note: --trace-out ignored (steady-state runs record no "
+            "execution trace)"
+        )
+    elif args.trace_out:
         path = write_json(
             args.trace_out,
             chrome_trace(
@@ -481,6 +494,15 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--metrics-out", metavar="PATH", default=None,
                 help="write the metrics JSON document here",
+            )
+            command.add_argument(
+                "--steady-state", choices=("on", "off", "auto"),
+                default="off",
+                help=(
+                    "periodic-phase extrapolation: detect the steady "
+                    "state and skip whole periods analytically "
+                    "(disables the execution trace; default off)"
+                ),
             )
         if name == "conform":
             command.add_argument(

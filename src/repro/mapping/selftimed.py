@@ -11,7 +11,7 @@ so the orders are always admissible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.dataflow.graph import DataflowGraph, GraphError
 from repro.dataflow.hsdf import hsdf_expand, invocation_name
@@ -50,6 +50,27 @@ class SelfTimedSchedule:
         """Index of the task within its PE's cyclic order."""
         order = self.orders[self.task_pe[task_name]]
         return order.index(task_name)
+
+    def firing_script(self) -> Dict[int, List[Tuple[str, str]]]:
+        """Flat per-PE firing plan: ``[(task name, origin actor), ...]``.
+
+        Pre-resolves the HSDF invocation -> origin-actor indirection
+        once per compile instead of once per program construction; the
+        compiled execution fast-lane
+        (:mod:`repro.platform.compiled`) builds its firing tasks from
+        exactly this plan.  For homogeneous graphs the task name and the
+        origin coincide.
+        """
+        script: Dict[int, List[Tuple[str, str]]] = {}
+        for pe, order in self.orders.items():
+            entries: List[Tuple[str, str]] = []
+            for task_name in order:
+                actor = self.task_graph.get_actor(task_name)
+                entries.append(
+                    (task_name, actor.params.get("origin", task_name))
+                )
+            script[pe] = entries
+        return script
 
     @property
     def n_pes(self) -> int:

@@ -16,7 +16,9 @@ export as
 
 from repro.observability.bench import (
     BENCH_SCHEMA,
+    BenchValidationError,
     bench_document,
+    validate_bench,
     write_bench_json,
 )
 from repro.observability.collector import MessageRecord, ObservabilityHub
@@ -41,6 +43,7 @@ from repro.observability.perfetto import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BenchValidationError",
     "METRICS_SCHEMA",
     "Counter",
     "Gauge",
@@ -54,6 +57,7 @@ __all__ = [
     "bench_document",
     "build_metrics_document",
     "chrome_trace",
+    "validate_bench",
     "validate_metrics",
     "write_bench_json",
     "write_json",

@@ -25,10 +25,20 @@ import json
 from pathlib import Path
 from typing import Dict, Optional
 
-__all__ = ["BENCH_SCHEMA", "bench_document", "write_bench_json"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchValidationError",
+    "bench_document",
+    "validate_bench",
+    "write_bench_json",
+]
 
 #: schema identifier stamped into every BENCH_*.json
 BENCH_SCHEMA = "repro.bench/1"
+
+
+class BenchValidationError(ValueError):
+    """A bench document violates its schema."""
 
 
 def bench_document(
@@ -55,12 +65,47 @@ def bench_document(
     }
 
 
-def write_bench_json(directory, document: Dict[str, object]) -> Path:
-    """Write ``BENCH_<name>.json`` under ``directory`` and return the path."""
+_REQUIRED_KEYS = (
+    "schema",
+    "name",
+    "quick",
+    "makespan_cycles",
+    "iteration_period_cycles",
+    "wall_seconds",
+    "cycles_per_wall_second",
+    "extra",
+)
+
+
+def validate_bench(document: Dict[str, object]) -> None:
+    """Schema gate for one bench document.
+
+    A workload that declares itself periodic (``extra["periodic"]``
+    truthy) must report a real, positive ``iteration_period_cycles`` —
+    a 0.0 there means the producer forgot to compute the period (the
+    historical BENCH_kernel.json bug) and is rejected.
+    """
     if document.get("schema") != BENCH_SCHEMA:
-        raise ValueError(
+        raise BenchValidationError(
             f"not a bench document (schema {document.get('schema')!r})"
         )
+    missing = [k for k in _REQUIRED_KEYS if k not in document]
+    if missing:
+        raise BenchValidationError(f"missing bench keys: {missing}")
+    if document["wall_seconds"] < 0:
+        raise BenchValidationError("wall_seconds must be >= 0")
+    period = document["iteration_period_cycles"]
+    if document["extra"].get("periodic") and not period > 0:
+        raise BenchValidationError(
+            f"periodic workload {document['name']!r} reports "
+            f"iteration_period_cycles={period!r}; a periodic workload "
+            f"must report its detected period (> 0)"
+        )
+
+
+def write_bench_json(directory, document: Dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory`` and return the path."""
+    validate_bench(document)
     target_dir = Path(directory)
     target_dir.mkdir(parents=True, exist_ok=True)
     path = target_dir / f"BENCH_{document['name']}.json"

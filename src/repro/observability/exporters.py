@@ -21,9 +21,10 @@ Metrics JSON schema (``repro.metrics/1``)::
       "run": {"cycles", "iterations", "iteration_period_cycles",
               "execution_time_us", "mcm_bound_cycles"},
       "simulator": {"events_processed", "parks", "retry_rounds",
-                    "wakeup_policy", "targeted_wakeups",
+                    "wakeup_policy", "queue_policy", "targeted_wakeups",
                     "broadcast_wakeups", "spurious_wakeups",
-                    "total_wakeups"},
+                    "total_wakeups", "steady_state_detected_at",
+                    "extrapolated_iterations", "compiled_firings"},
       "pes": [{"index", "name", "busy_cycles", "blocked_cycles",
                "firings", "blocked_events", "utilization",
                "blocked_by_task": {task: cycles}}],
@@ -171,10 +172,14 @@ def build_metrics_document(
             "parks": sim.parks,
             "retry_rounds": sim.retry_rounds,
             "wakeup_policy": sim.wakeups,
+            "queue_policy": sim.queue_policy,
             "targeted_wakeups": sim.targeted_wakeups,
             "broadcast_wakeups": sim.broadcast_wakeups,
             "spurious_wakeups": sim.spurious_wakeups,
             "total_wakeups": sim.total_wakeups,
+            "steady_state_detected_at": result.steady_state_detected_at,
+            "extrapolated_iterations": result.extrapolated_iterations,
+            "compiled_firings": result.compiled_firings,
         },
         "pes": pe_entries,
         "channels": channel_entries,
@@ -266,6 +271,19 @@ def validate_metrics(document: Dict[str, object]) -> None:
                 f"simulator: spurious_wakeups {sim['spurious_wakeups']} "
                 f"exceed total_wakeups {sim['total_wakeups']}"
             )
+    detected = sim.get("steady_state_detected_at")
+    extrapolated = sim.get("extrapolated_iterations", 0)
+    if detected is None and extrapolated:
+        raise MetricsValidationError(
+            f"simulator: {extrapolated} extrapolated iterations without a "
+            f"detected steady state"
+        )
+    iterations = document["run"].get("iterations")
+    if iterations is not None and extrapolated >= iterations:
+        raise MetricsValidationError(
+            f"simulator: extrapolated_iterations {extrapolated} must be "
+            f"< run iterations {iterations} (the tail always simulates)"
+        )
 
 
 def write_json(path, document: Dict[str, object]) -> Path:

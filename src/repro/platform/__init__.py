@@ -18,6 +18,7 @@ from repro.platform.memory import (
     BufferOverflowError,
     BufferUnderflowError,
 )
+from repro.platform.compiled import CalendarQueue, CompiledFiring, CompiledStats
 from repro.platform.pe import ProcessingElement
 from repro.platform.simulator import (
     LostWakeupError,
@@ -27,9 +28,24 @@ from repro.platform.simulator import (
     Task,
     Waitset,
 )
+from repro.platform.steady_state import (
+    AttrMeter,
+    MapMeter,
+    ObjectMapMeter,
+    SteadyStateReport,
+    SteadyStateTracker,
+)
 from repro.platform.trace import TraceEvent, TraceRecorder
 
 __all__ = [
+    "AttrMeter",
+    "CalendarQueue",
+    "CompiledFiring",
+    "CompiledStats",
+    "MapMeter",
+    "ObjectMapMeter",
+    "SteadyStateReport",
+    "SteadyStateTracker",
     "DEFAULT_CLOCK",
     "ClockDomain",
     "RESOURCE_FIELDS",

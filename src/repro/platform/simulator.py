@@ -150,13 +150,28 @@ class Simulator:
         self,
         wakeups: str = "targeted",
         check_lost_wakeups: bool = False,
+        queue: str = "heap",
     ) -> None:
         if wakeups not in ("targeted", "broadcast"):
             raise ValueError(f"unknown wakeup discipline {wakeups!r}")
+        if queue not in ("heap", "calendar"):
+            raise ValueError(f"unknown event queue {queue!r}")
         self.now = 0
         self.wakeups = wakeups
         self.check_lost_wakeups = check_lost_wakeups
+        self.queue_policy = queue
         self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        if queue == "calendar":
+            from repro.platform.compiled import CalendarQueue
+
+            self._calendar: Optional[CalendarQueue] = CalendarQueue()
+        else:
+            self._calendar = None
+        #: optional steady-state tracker (see
+        #: :mod:`repro.platform.steady_state`): while armed, message
+        #: deliveries routed through :meth:`schedule_delivery` are
+        #: mirrored into its in-flight multiset for state hashing
+        self.state_probe = None
         self._seq = itertools.count()
         self._parked: List["PESequencer"] = []
         self._targeted: List["PESequencer"] = []
@@ -187,13 +202,40 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past ({time} < now {self.now})"
             )
-        heapq.heappush(self._heap, (time, next(self._seq), callback))
+        if self._calendar is not None:
+            self._calendar.push(time, next(self._seq), callback)
+        else:
+            heapq.heappush(self._heap, (time, next(self._seq), callback))
 
     def after(self, delay: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError("delay must be >= 0")
         self.at(self.now + delay, callback)
+
+    def schedule_delivery(
+        self, arrival: int, deliver: Callable[[], None], key
+    ) -> None:
+        """Schedule a message delivery, visible to the steady-state probe.
+
+        Identical to :meth:`at` when no tracker is armed (the common
+        case — one conditional on the send path).  With an armed
+        tracker the delivery is registered in its in-flight multiset
+        under ``key`` (e.g. ``("data", channel)``, ``("ack", channel)``,
+        ``("resync", pool)``) so state hashes account for every message
+        still on the wire; the entry is removed when the event fires.
+        """
+        probe = self.state_probe
+        if probe is None or not probe.armed:
+            self.at(arrival, deliver)
+            return
+        probe.track(key, arrival)
+
+        def tracked() -> None:
+            probe.untrack(key, arrival)
+            deliver()
+
+        self.at(arrival, tracked)
 
     # -- parking / wakeups ------------------------------------------------------
 
@@ -295,16 +337,29 @@ class Simulator:
         ``max_cycles`` guards against runaway simulations (raises
         ``RuntimeError`` when exceeded).
         """
-        while self._heap:
-            time, _, callback = heapq.heappop(self._heap)
-            if max_cycles is not None and time > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded max_cycles={max_cycles} "
-                    f"(next event at {time})"
-                )
-            self.now = time
-            self.events_processed += 1
-            callback()
+        if self._calendar is not None:
+            calendar = self._calendar
+            while calendar:
+                time, _, callback = calendar.pop()
+                if max_cycles is not None and time > max_cycles:
+                    raise RuntimeError(
+                        f"simulation exceeded max_cycles={max_cycles} "
+                        f"(next event at {time})"
+                    )
+                self.now = time
+                self.events_processed += 1
+                callback()
+        else:
+            while self._heap:
+                time, _, callback = heapq.heappop(self._heap)
+                if max_cycles is not None and time > max_cycles:
+                    raise RuntimeError(
+                        f"simulation exceeded max_cycles={max_cycles} "
+                        f"(next event at {time})"
+                    )
+                self.now = time
+                self.events_processed += 1
+                callback()
         blocked = [s for s in self._parked if s.parked and not s.done]
         blocked += [
             s for s in self._targeted if s.parked_targeted and not s.done
@@ -353,7 +408,13 @@ class PESequencer:
         self.position = 0
         self.done = not self.program
         self.finish_times: List[int] = []
+        #: optional hook invoked synchronously at each iteration wrap,
+        #: *before* the done check — the steady-state tracker hashes the
+        #: kernel state here and may reduce ``iterations`` (a warp)
+        self.on_iteration: Optional[Callable[[], None]] = None
         self._running = False
+        #: absolute completion time of the running task (state hashing)
+        self._busy_until: Optional[int] = None
         #: when the current task first failed its guard (None = not blocked)
         self._blocked_since: Optional[int] = None
         #: parked in either discipline (O(1) membership, replaces the
@@ -427,8 +488,10 @@ class PESequencer:
         if duration is None:
             # Event-completed task (e.g. a blocking rendezvous send):
             # the task signals completion through this callback.
+            self._busy_until = None
             task.complete_async = self._async_hook
         else:
+            self._busy_until = now + duration
             self.sim.after(duration, self._complete_cb)
 
     def _install_async_complete(self) -> None:
@@ -459,6 +522,10 @@ class PESequencer:
             self.position = 0
             self.iteration += 1
             self.finish_times.append(self.sim.now)
+            if self.on_iteration is not None:
+                # may warp: every sequencer's target can shrink here, so
+                # the done check below must run after the hook
+                self.on_iteration()
             if self.iteration >= self.iterations:
                 self.done = True
 

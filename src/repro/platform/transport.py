@@ -79,16 +79,24 @@ class _TransportStats:
         self.waitset = Waitset(f"transport:{type(self).__name__}")
 
     def _schedule_delivery(
-        self, sim: Simulator, arrival: int, deliver: Callable[[], None]
+        self,
+        sim: Simulator,
+        arrival: int,
+        deliver: Callable[[], None],
+        key: Hashable,
     ) -> None:
-        """Run ``deliver`` at ``arrival``, then wake the waitset."""
+        """Run ``deliver`` at ``arrival``, then wake the waitset.
+
+        Routed through :meth:`Simulator.schedule_delivery` so an armed
+        steady-state tracker sees the message while it is in flight.
+        """
         waitset = self.waitset
 
         def dispatch() -> None:
             deliver()
             waitset.wake()
 
-        sim.at(arrival, dispatch)
+        sim.schedule_delivery(arrival, dispatch, key)
 
     def _record(
         self,
@@ -168,7 +176,11 @@ class PointToPointTransport(_TransportStats):
             deliver()
             self.waitset.wake()
             return
-        self._schedule_delivery(self.sim, arrival, deliver)
+        self._schedule_delivery(self.sim, arrival, deliver, (kind, channel_key))
+
+    def capture_state(self, now: int) -> tuple:
+        """Steady-state hash contribution (links are captured separately)."""
+        return ()
 
 
 class SharedBusTransport(_TransportStats):
@@ -219,7 +231,11 @@ class SharedBusTransport(_TransportStats):
             contention=contention,
             kind=kind,
         )
-        self._schedule_delivery(self.sim, arrival, deliver)
+        self._schedule_delivery(self.sim, arrival, deliver, (kind, channel_key))
+
+    def capture_state(self, now: int) -> tuple:
+        """Steady-state hash contribution: remaining bus occupancy."""
+        return (max(0, self.busy_until - now),)
 
 
 class OrderedBusTransport(_TransportStats):
@@ -292,5 +308,20 @@ class OrderedBusTransport(_TransportStats):
                 contention=contention,
                 kind=kind,
             )
-            self._schedule_delivery(self.sim, arrival, deliver)
+            self._schedule_delivery(self.sim, arrival, deliver, (kind, key))
             self._cursor = (self._cursor + 1) % len(self.order)
+
+    def capture_state(self, now: int) -> tuple:
+        """Steady-state hash contribution: cursor, occupancy, queued sends."""
+        pending = tuple(
+            (
+                str(key),
+                tuple(
+                    (nbytes, requested - now, kind)
+                    for nbytes, _deliver, requested, _src, _dst, kind in queue
+                ),
+            )
+            for key, queue in sorted(self._pending.items(), key=lambda i: str(i[0]))
+            if queue
+        )
+        return (self._cursor, max(0, self.busy_until - now), pending)

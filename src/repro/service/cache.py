@@ -44,7 +44,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mapping.resync import ResynchronizationResult, resynchronize
 from repro.mapping.timed_graph import TimedEdge
@@ -247,7 +247,7 @@ class AnalysisCache:
     rename), which is how shard processes of one campaign share work.
     """
 
-    KINDS = ("repetitions", "channel_plans", "resync", "mcm")
+    KINDS = ("repetitions", "channel_plans", "resync", "mcm", "period")
 
     def __init__(self, path: Optional[os.PathLike] = None) -> None:
         self.path = Path(path) if path is not None else None
@@ -365,6 +365,34 @@ class AnalysisCache:
                 }
                 for name, plan in plans.items()
             },
+        )
+
+    def period_hint(self, key: Optional[str]) -> Optional[Tuple[int, int]]:
+        """Observed steady-state period ``(iterations, cycles)`` of a
+        previous run of the same system (same graph + execution knobs).
+
+        The hint is advisory: the steady-state tracker still requires an
+        exact kernel-state recurrence with matching period before it
+        warps, so a stale or wrong hint costs nothing but the shortcut.
+        """
+        if key is None:
+            return None
+        cached = self._load(key, "period")
+        self._note("period", cached is not None)
+        if cached is None:
+            return None
+        return (int(cached["iterations"]), int(cached["cycles"]))
+
+    def store_period(
+        self, key: Optional[str], period_iterations: int, period_cycles: int
+    ) -> None:
+        """Record a confirmed steady-state period for future runs."""
+        if key is None:
+            return
+        self._store(
+            key,
+            "period",
+            {"iterations": period_iterations, "cycles": period_cycles},
         )
 
     def resynchronize(self, key: Optional[str], sync_graph) -> ResynchronizationResult:

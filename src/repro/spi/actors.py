@@ -281,7 +281,9 @@ class SpiSendTask:
                     started=start,
                     arrived=arrival,
                 )
-            self.sim.at(arrival, deliver)
+            self.sim.schedule_delivery(
+                arrival, deliver, ("data", self.channel.edge.name)
+            )
 
 
 class SyncTokenPool:
@@ -444,7 +446,9 @@ class SyncedTask:
                     pool.deposit()
                     sim.notify()
 
-                self.sim.at(arrival, deliver)
+                self.sim.schedule_delivery(
+                    arrival, deliver, ("resync", pool.name)
+                )
         self._count += 1
 
 
@@ -530,4 +534,6 @@ class SpiReceiveTask:
                 channel.deliver(ack)
                 self.sim.notify()
 
-            self.sim.at(arrival, deliver_ack)
+            self.sim.schedule_delivery(
+                arrival, deliver_ack, ("ack", self.channel.edge.name)
+            )

@@ -151,6 +151,37 @@ class RunResult:
     #: populated when ``run(..., metrics=True)``: every inter-PE message
     #: (data / ack / resync) with request, wire-start and arrival times
     message_log: Optional[List] = None
+    #: steady-state detection/extrapolation report
+    #: (:class:`repro.platform.steady_state.SteadyStateReport`; None
+    #: when detection was not armed for this run)
+    steady_state: Optional[object] = None
+    #: firings executed through the compiled fast-lane
+    #: (:class:`repro.platform.compiled.CompiledFiring` tasks)
+    compiled_firings: int = 0
+
+    @property
+    def steady_state_detected_at(self) -> Optional[int]:
+        if self.steady_state is None:
+            return None
+        return self.steady_state.detected_at
+
+    @property
+    def extrapolated_iterations(self) -> int:
+        if self.steady_state is None:
+            return 0
+        return self.steady_state.extrapolated_iterations
+
+    @property
+    def detected_period_iterations(self) -> Optional[int]:
+        if self.steady_state is None:
+            return None
+        return self.steady_state.period_iterations
+
+    @property
+    def detected_period_cycles(self) -> Optional[int]:
+        if self.steady_state is None:
+            return None
+        return self.steady_state.period_cycles
 
     @property
     def sync_messages(self) -> int:
@@ -479,6 +510,9 @@ class SpiSystem:
         metrics: bool = False,
         wakeups: str = "targeted",
         check_lost_wakeups: bool = False,
+        steady_state: str = "off",
+        compiled: Optional[bool] = None,
+        queue: str = "heap",
     ) -> RunResult:
         """Simulate ``iterations`` graph iterations; returns the metrics.
 
@@ -496,15 +530,67 @@ class SpiSystem:
         legacy retry sweep — kept for A/B benchmarking), and
         ``check_lost_wakeups=True`` arms the kernel's lost-wakeup audit
         (used by the conformance oracles).
+
+        ``steady_state`` controls periodic-phase extrapolation (see
+        :mod:`repro.platform.steady_state`): ``"off"`` simulates every
+        iteration; ``"auto"`` arms detection when the system is
+        eligible — state-determined timing (see
+        :meth:`steady_state_opaque_actors`), no trace capture, and a
+        run long enough to possibly warp — and silently runs
+        interpreted otherwise; ``"on"`` forces arming and raises
+        :class:`GraphError` for ineligible systems.  A warp requires
+        an exact kernel-state recurrence confirmed over a full second
+        period with identical counter deltas, so makespan, per-channel
+        traffic, occupancy high-water marks and the iteration period
+        of an extrapolated run are bit-identical to the fully
+        interpreted run.  Kernel-effort counters (events, parks,
+        wakeups) and the message log cover only the actually-simulated
+        prefix and tail.
+
+        ``compiled`` selects the computation-task implementation:
+        ``None``/``True`` uses the pre-resolved
+        :class:`~repro.platform.compiled.CompiledFiring` fast-lane
+        (semantically identical), ``False`` the interpreted
+        :class:`~repro.spi.actors.ComputationTask` (kept for A/B).
+        ``queue`` selects the kernel event queue (``"heap"`` or
+        ``"calendar"``).
         """
         if iterations < 1:
             raise GraphError("iterations must be >= 1")
+        if steady_state not in ("off", "auto", "on"):
+            raise GraphError(f"unknown steady_state mode {steady_state!r}")
+        arm_steady = False
+        if steady_state == "on":
+            if trace:
+                raise GraphError(
+                    "steady_state='on' cannot produce a full trace "
+                    "(extrapolated iterations record no task intervals)"
+                )
+            opaque = self.steady_state_opaque_actors()
+            if opaque:
+                raise GraphError(
+                    "steady_state='on' requires state-determined timing; "
+                    "these actors have data-dependent timing and do not "
+                    f"declare params['timing_periodic']: {sorted(opaque)}"
+                )
+            arm_steady = True
+        elif steady_state == "auto":
+            arm_steady = (
+                not trace
+                and iterations >= 3
+                and not self.steady_state_opaque_actors()
+            )
+        use_compiled = compiled if compiled is not None else True
         hub = None
         if metrics:
             from repro.observability import ObservabilityHub
 
             hub = ObservabilityHub()
-        sim = Simulator(wakeups=wakeups, check_lost_wakeups=check_lost_wakeups)
+        sim = Simulator(
+            wakeups=wakeups,
+            check_lost_wakeups=check_lost_wakeups,
+            queue=queue,
+        )
         recorder = TraceRecorder() if trace else None
         interconnect = Interconnect(default_spec=self.config.link_spec)
         transport = self._build_transport(sim, interconnect, observer=hub)
@@ -546,6 +632,11 @@ class SpiSystem:
         recv_plans = {plan.recv_actor: plan for plan in self.channel_plans.values()}
 
         tasks_by_actor: Dict[str, object] = {}
+        compiled_stats = None
+        if use_compiled:
+            from repro.platform.compiled import CompiledFiring, CompiledStats
+
+            compiled_stats = CompiledStats()
 
         def task_for(actor: Actor):
             if actor.name in tasks_by_actor:
@@ -584,7 +675,12 @@ class SpiSystem:
                     for e in graph.out_edges(actor)
                     if e.edge_id in fifos
                 }
-                task = ComputationTask(actor, inputs, outputs)
+                if compiled_stats is not None:
+                    task = CompiledFiring(
+                        actor, inputs, outputs, stats=compiled_stats
+                    )
+                else:
+                    task = ComputationTask(actor, inputs, outputs)
             tasks_by_actor[actor.name] = task
             return task
 
@@ -628,23 +724,33 @@ class SpiSystem:
 
         pes: List[ProcessingElement] = []
         sequencers: List[PESequencer] = []
+        script = self.schedule.firing_script()
         for pe_index in range(self.partition.n_pes):
-            order = self.schedule.orders.get(pe_index, [])
-            if not order:
+            entries = script.get(pe_index, [])
+            if not entries:
                 continue
             pe = ProcessingElement(pe_index)
             program: List[object] = [SpiInitTask(pe_index)]
-            for task_name in order:
-                origin = (
-                    self.schedule.task_graph.get_actor(task_name)
-                    .params.get("origin", task_name)
-                )
+            for _task_name, origin in entries:
                 program.append(task_for(graph.get_actor(origin)))
             sequencer = PESequencer(
                 sim, pe, program, iterations, trace=recorder
             )
             pes.append(pe)
             sequencers.append(sequencer)
+
+        tracker = None
+        if arm_steady and sequencers:
+            tracker = self._arm_steady_state(
+                sim=sim,
+                sequencers=sequencers,
+                channels=channels,
+                fifos=fifos,
+                sync_pools=sync_pools,
+                interconnect=interconnect,
+                transport=transport,
+                iterations=iterations,
+            )
 
         for sequencer in sequencers:
             sequencer.begin()
@@ -656,6 +762,18 @@ class SpiSystem:
                 f"simulation ended with unfinished sequencers: "
                 f"{[s.pe.name for s in unfinished]}"
             )
+
+        steady_report = tracker.report if tracker is not None else None
+        extra_cycles = (
+            steady_report.extrapolated_cycles if steady_report is not None else 0
+        )
+        total_cycles = final + extra_cycles
+        if (
+            steady_report is not None
+            and steady_report.detected_at is not None
+            and not steady_report.hint_used
+        ):
+            self._store_period_hint(steady_report)
 
         data_messages = sum(c.stats.data_messages for c in channels.values())
         ack_messages = sum(c.stats.ack_messages for c in channels.values())
@@ -671,14 +789,20 @@ class SpiSystem:
         }
 
         if iterations >= 4 and sequencers:
+            # Under a warp the simulated finish of the last (reduced)
+            # iteration is the true finish of iteration ``iterations``
+            # minus the extrapolated cycles, and ``finish_times[1]``
+            # predates the warp — so the reconstruction below uses the
+            # same integer operands as a fully interpreted run and the
+            # float result is bit-identical.
             times = sequencers[0].finish_times
-            period = (times[-1] - times[1]) / (len(times) - 2)
+            period = (times[-1] + extra_cycles - times[1]) / (iterations - 2)
         else:
-            period = final / iterations
+            period = total_cycles / iterations
 
         result = RunResult(
-            cycles=final,
-            execution_time_us=self.config.clock.cycles_to_us(final),
+            cycles=total_cycles,
+            execution_time_us=self.config.clock.cycles_to_us(total_cycles),
             iterations=iterations,
             pe_stats=pes,
             data_messages=data_messages,
@@ -693,6 +817,12 @@ class SpiSystem:
             resync_bytes=ACK_BYTES
             * sum(p.messages_sent for p in sync_pools),
             trace=recorder,
+            steady_state=steady_report,
+            compiled_firings=(
+                compiled_stats.compiled_firings
+                if compiled_stats is not None
+                else 0
+            ),
         )
         if hub is not None:
             from repro.observability import (
@@ -712,6 +842,245 @@ class SpiSystem:
             )
             validate_metrics(result.metrics)
         return result
+
+    def _arm_steady_state(
+        self,
+        sim: Simulator,
+        sequencers: List[PESequencer],
+        channels: Dict[str, SpiChannel],
+        fifos: Dict[int, "LocalFifo"],
+        sync_pools: List[SyncTokenPool],
+        interconnect: Interconnect,
+        transport,
+        iterations: int,
+    ):
+        """Wire a :class:`SteadyStateTracker` into this run.
+
+        The probes must cover *everything* that influences any future
+        event time or counter — see DESIGN.md §4e for the composition
+        argument (in particular why in-flight UBS acks and
+        resynchronization deposits are part of the hash).  The meters
+        must cover every counter a skipped period would have advanced.
+        """
+        from repro.platform.steady_state import (
+            AttrMeter,
+            MapMeter,
+            ObjectMapMeter,
+            SteadyStateTracker,
+        )
+
+        ref = sequencers[0]
+        sorted_channels = [
+            (name, channels[name]) for name in sorted(channels)
+        ]
+        sorted_fifos = [fifos[k] for k in sorted(fifos)]
+
+        # SyncedTask wrappers and SpiInitTask instances hide modular /
+        # one-shot state inside the per-PE programs; collect them once.
+        synced: List[SyncedTask] = []
+        inits: List[SpiInitTask] = []
+        seen_ids = set()
+        for sequencer in sequencers:
+            for task in sequencer.program:
+                while isinstance(task, SyncedTask):
+                    if id(task) not in seen_ids:
+                        seen_ids.add(id(task))
+                        synced.append(task)
+                    task = task.inner
+                if isinstance(task, SpiInitTask) and id(task) not in seen_ids:
+                    seen_ids.add(id(task))
+                    inits.append(task)
+
+        def sequencer_state(now: int):
+            ref_iteration = ref.iteration
+            return tuple(
+                (
+                    s.position,
+                    s.iteration - ref_iteration,
+                    s._running,
+                    (s._busy_until - now)
+                    if s._running and s._busy_until is not None
+                    else -1,
+                    s.parked,
+                    s.parked_targeted,
+                    s.wake_pending,
+                    (now - s._blocked_since)
+                    if s._blocked_since is not None
+                    else -1,
+                )
+                for s in sequencers
+            )
+
+        def channel_state(now: int):
+            return tuple(
+                (
+                    tuple(m.payload_bytes for m in ch.arrived),
+                    ch.flow._credits if ch.flow.uses_credits else -1,
+                    ch.recv_buffer.occupancy_bytes,
+                )
+                for _name, ch in sorted_channels
+            )
+
+        def fifo_state(now: int):
+            return tuple(len(f.tokens) for f in sorted_fifos)
+
+        def pool_state(now: int):
+            return tuple(p.tokens for p in sync_pools)
+
+        def synced_state(now: int):
+            return tuple(t._count % t.period for t in synced)
+
+        def init_state(now: int):
+            return tuple(t._done for t in inits)
+
+        def link_state(now: int):
+            return tuple(
+                sorted(
+                    (link.src_pe, link.dst_pe, max(0, link.busy_until - now))
+                    for link in interconnect.links
+                )
+            )
+
+        def kernel_state(now: int):
+            return (
+                len(sim._wake_queue),
+                sim._wake_scheduled,
+                sim._retry_scheduled,
+                len(sim._parked),
+            )
+
+        probes = [
+            sequencer_state,
+            channel_state,
+            fifo_state,
+            pool_state,
+            synced_state,
+            init_state,
+            link_state,
+            kernel_state,
+            transport.capture_state,
+        ]
+
+        transport_fields = ["messages", "bytes"]
+        if hasattr(transport, "fast_path_deliveries"):
+            transport_fields.append("fast_path_deliveries")
+        meters = []
+        for sequencer in sequencers:
+            pe = sequencer.pe
+            meters.append(
+                AttrMeter(
+                    f"pe:{pe.index}",
+                    pe,
+                    ("busy_cycles", "firings", "blocked_events", "blocked_cycles"),
+                )
+            )
+            meters.append(
+                MapMeter(
+                    f"pe:{pe.index}:blocked_by",
+                    (lambda p=pe: p.blocked_by_task),
+                )
+            )
+        for name, ch in sorted_channels:
+            meters.append(
+                AttrMeter(
+                    f"channel:{name}",
+                    ch.stats,
+                    (
+                        "data_messages",
+                        "ack_messages",
+                        "data_bytes",
+                        "header_bytes",
+                        "ack_bytes",
+                    ),
+                )
+            )
+            meters.append(
+                AttrMeter(f"flow:{name}", ch.flow, ("sends", "acks_received"))
+            )
+        for pool in sync_pools:
+            meters.append(
+                AttrMeter(
+                    f"pool:{pool.name}", pool, ("messages_sent", "empty_stalls")
+                )
+            )
+        meters.append(AttrMeter("transport", transport, transport_fields))
+        meters.append(
+            ObjectMapMeter(
+                "transport:channel",
+                lambda: sorted(
+                    transport.per_channel.items(), key=lambda kv: str(kv[0])
+                ),
+                ("messages", "bytes", "queueing_cycles", "contention_cycles"),
+            )
+        )
+        meters.append(
+            ObjectMapMeter(
+                "link",
+                lambda: [
+                    ((link.src_pe, link.dst_pe), link)
+                    for link in interconnect.links
+                ],
+                ("bytes_carried", "messages_carried"),
+            )
+        )
+
+        hint = None
+        if self._analysis_cache is not None:
+            lookup = getattr(self._analysis_cache, "period_hint", None)
+            if lookup is not None:
+                hint = lookup(self._period_cache_key())
+
+        tracker = SteadyStateTracker(
+            sim=sim,
+            sequencers=sequencers,
+            probes=probes,
+            meters=meters,
+            target_iterations=iterations,
+            hint=hint,
+        )
+        sim.state_probe = tracker
+        ref.on_iteration = tracker.on_iteration_boundary
+        return tracker
+
+    def _period_cache_key(self) -> Optional[str]:
+        """Content key for the cross-run period memo.
+
+        Extends the analysis key with the *execution* knobs the analysis
+        key deliberately omits — period cycles depend on the transport
+        flavour and link timing, not just on the compile-time plans.
+        """
+        if self._analysis_key is None:
+            return None
+        import hashlib
+        import json
+
+        spec = self.config.link_spec
+        payload = json.dumps(
+            {
+                "analysis": self._analysis_key,
+                "transport": self.config.transport,
+                "bus_arbitration_cycles": self.config.bus_arbitration_cycles,
+                "setup_cycles": spec.setup_cycles,
+                "word_bytes": spec.word_bytes,
+                "cycles_per_word": spec.cycles_per_word,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _store_period_hint(self, report) -> None:
+        """Memoise a freshly confirmed period for future runs."""
+        if self._analysis_cache is None:
+            return
+        store = getattr(self._analysis_cache, "store_period", None)
+        if store is None:
+            return
+        store(
+            self._period_cache_key(),
+            report.period_iterations,
+            report.period_cycles,
+        )
 
     def _build_transport(
         self, sim: Simulator, interconnect: Interconnect, observer=None
@@ -766,6 +1135,32 @@ class SpiSystem:
         return order
 
     # -- analysis -----------------------------------------------------------
+
+    def steady_state_opaque_actors(self) -> List[str]:
+        """Actors whose future timing the steady-state hash cannot see.
+
+        The warp is exact only when every execution time and production
+        volume is a function of the hashed kernel state.  An actor with
+        integer cycles and static rates trivially qualifies.  An actor
+        with a *callable* cycle model or :class:`DynamicRate` ports
+        depends on token values (which the hash deliberately excludes),
+        so it is opaque — unless it declares
+        ``params["timing_periodic"] = True``, asserting that its
+        execution times and production volumes are iteration-periodic
+        (e.g. the LPC I/O interfaces, which cycle through a fixed frame
+        list via ``firing_index % len(frames)``).  The particle filter
+        makes no such declaration: its resampling exchange volumes
+        depend on the evolving particle population, so it never warps.
+        """
+        opaque: List[str] = []
+        for actor in self.source_graph.actors:
+            if actor.params.get("timing_periodic"):
+                continue
+            if not isinstance(actor.cycles, int) or any(
+                not isinstance(port.rate, int) for port in actor.ports
+            ):
+                opaque.append(actor.name)
+        return opaque
 
     def task_repetitions(self) -> Dict[str, int]:
         """Repetitions vector of the SPI-inserted graph (memoised)."""

@@ -1,0 +1,138 @@
+"""Steady-state A/B oracle: extrapolation never changes the answer.
+
+For every seed, the SPI stack simulated to completion
+(``steady_state="off"``) and the same system with detection armed
+(``"auto"``, lost-wakeup audit on) must report bit-identical makespan,
+iteration period, per-channel message counts/bytes and occupancy
+high-waters, and per-PE busy/blocked/firing totals.  The warp replays
+per-iteration counter deltas instead of simulating, so any divergence
+is an unsound state hash or a wrong delta — a bug, not noise.
+
+Token *values* are deliberately not compared here: the tap stream ends
+where the warp begins (extrapolation replays counters, not tokens), so
+the off run simply records more of the same periodic stream.  The
+kernel-equivalence tier (``test_kernel_equivalence.py``) owns token
+stream identity.
+
+On divergence the auto run's state-hash trace is written next to the
+test (or to ``$REPRO_STEADY_TRACE``) so CI can upload it as an
+artifact.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.conformance import GraphShape, build_case, generate_spec
+from repro.spi import SpiSystem
+
+SEED_COUNT = 50
+ITERATIONS = 10
+#: static-rate graphs only: the eligibility rule refuses undeclared
+#: dynamic actors, so dynamic seeds would never arm (covered separately
+#: by test_steady_state.py::test_opaque_actors_refuse)
+SHAPE = GraphShape(dynamic_prob=0.0)
+
+#: at this iteration count most seeds reach and confirm a period; keep
+#: a floor so the campaign cannot silently degenerate into comparing
+#: 50 pairs of identical interpreted runs
+MIN_WARPED_SEEDS = 30
+
+
+def _run(seed: int, steady_state: str):
+    """Fresh case per run: stateful actor kernels must not leak across."""
+    case = build_case(generate_spec(seed, SHAPE))
+    system = SpiSystem.compile(case.graph, case.partition)
+    return system.run(
+        iterations=ITERATIONS,
+        max_cycles=10_000_000,
+        check_lost_wakeups=True,
+        metrics=True,
+        steady_state=steady_state,
+    )
+
+
+def _comparable(result) -> dict:
+    """Everything the two modes must agree on, bit for bit."""
+    document = result.metrics
+    return {
+        "cycles": result.cycles,
+        "iteration_period_cycles": result.iteration_period_cycles,
+        "buffer_high_water": dict(result.buffer_high_water),
+        "fifo_high_water": dict(result.fifo_high_water),
+        "channels": [
+            {
+                key: channel[key]
+                for key in (
+                    "name",
+                    "data_messages",
+                    "ack_messages",
+                    "data_bytes",
+                    "header_bytes",
+                    "ack_bytes",
+                    "occupancy_high_water_messages",
+                    "occupancy_high_water_bytes",
+                )
+            }
+            for channel in document["channels"]
+        ],
+        "pes": [
+            {
+                key: pe[key]
+                for key in (
+                    "name",
+                    "busy_cycles",
+                    "blocked_cycles",
+                    "firings",
+                )
+            }
+            for pe in document["pes"]
+        ],
+    }
+
+
+def _dump_trace(failures, traces) -> Path:
+    target = Path(
+        os.environ.get("REPRO_STEADY_TRACE", "steady_state_trace.json")
+    )
+    target.write_text(
+        json.dumps({"failures": failures, "hash_traces": traces}, indent=2)
+        + "\n"
+    )
+    return target
+
+
+def test_steady_state_equivalence_campaign():
+    failures = []
+    traces = {}
+    warped_seeds = 0
+    for seed in range(SEED_COUNT):
+        off = _run(seed, "off")
+        auto = _run(seed, "auto")
+        if auto.extrapolated_iterations > 0:
+            warped_seeds += 1
+        expected = _comparable(off)
+        observed = _comparable(auto)
+        if expected != observed:
+            mismatched = sorted(
+                key for key in expected if expected[key] != observed[key]
+            )
+            failures.append(
+                f"seed {seed}: off/auto mismatch in {mismatched} "
+                f"(detected_at={auto.steady_state_detected_at}, "
+                f"extrapolated={auto.extrapolated_iterations})"
+            )
+            if auto.steady_state is not None:
+                traces[str(seed)] = [
+                    list(entry) for entry in auto.steady_state.hash_trace
+                ]
+    if failures:
+        trace_path = _dump_trace(failures, traces)
+        raise AssertionError(
+            f"{len(failures)} seed(s) diverged (state-hash trace written "
+            f"to {trace_path}): " + "; ".join(failures)
+        )
+    assert warped_seeds >= MIN_WARPED_SEEDS, (
+        f"only {warped_seeds}/{SEED_COUNT} seeds warped; the campaign "
+        f"is no longer exercising extrapolation"
+    )

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.observability import BENCH_SCHEMA, bench_document, write_bench_json
+from repro.observability import (
+    BENCH_SCHEMA,
+    BenchValidationError,
+    bench_document,
+    validate_bench,
+    write_bench_json,
+)
 
 
 def test_document_shape():
@@ -53,3 +59,80 @@ def test_write_round_trips(tmp_path):
 def test_write_rejects_foreign_documents(tmp_path):
     with pytest.raises(ValueError, match="schema"):
         write_bench_json(tmp_path, {"name": "x"})
+
+
+def test_periodic_workload_rejects_zero_period():
+    """The historical BENCH_kernel.json bug: a workload that declares
+    itself periodic but reports iteration_period_cycles=0.0 means the
+    producer never computed the period — the schema gate refuses it."""
+    document = bench_document(
+        "kernel",
+        makespan_cycles=100,
+        iteration_period_cycles=0.0,
+        wall_seconds=0.1,
+        extra={"periodic": True},
+    )
+    with pytest.raises(BenchValidationError, match="periodic"):
+        validate_bench(document)
+
+
+def test_periodic_workload_rejects_negative_period(tmp_path):
+    document = bench_document(
+        "kernel",
+        makespan_cycles=100,
+        iteration_period_cycles=-3.0,
+        wall_seconds=0.1,
+        extra={"periodic": True},
+    )
+    with pytest.raises(BenchValidationError, match="periodic"):
+        write_bench_json(tmp_path, document)
+
+
+def test_non_periodic_workload_allows_zero_period(tmp_path):
+    """Synthetic kernel microbenches have no iteration period; only a
+    declared-periodic workload is held to a positive one."""
+    document = bench_document(
+        "scratch",
+        makespan_cycles=100,
+        iteration_period_cycles=0.0,
+        wall_seconds=0.1,
+    )
+    validate_bench(document)
+    assert write_bench_json(tmp_path, document).exists()
+
+
+def test_periodic_workload_accepts_real_period():
+    document = bench_document(
+        "kernel",
+        makespan_cycles=100,
+        iteration_period_cycles=3118.0,
+        wall_seconds=0.1,
+        extra={"periodic": True},
+    )
+    validate_bench(document)
+
+
+def test_missing_keys_rejected():
+    document = bench_document(
+        "x", makespan_cycles=1, iteration_period_cycles=1.0, wall_seconds=0.1
+    )
+    del document["wall_seconds"]
+    with pytest.raises(BenchValidationError, match="wall_seconds"):
+        validate_bench(document)
+
+
+def test_committed_kernel_baseline_validates():
+    """The committed full-mode baseline must itself pass the gate that
+    write_bench_json applies — including the positive-period rule."""
+    from pathlib import Path
+
+    baseline = (
+        Path(__file__).parent.parent.parent
+        / "benchmarks"
+        / "results"
+        / "BENCH_kernel.json"
+    )
+    document = json.loads(baseline.read_text())
+    validate_bench(document)
+    assert document["extra"]["periodic"] is True
+    assert document["iteration_period_cycles"] > 0

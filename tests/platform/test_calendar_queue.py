@@ -1,0 +1,220 @@
+"""Calendar queue: heap-identical ordering, rotation edge cases, A/B.
+
+``Simulator(queue="calendar")`` swaps the binary heap for Brown's
+calendar queue; the swap is only legal because the total order —
+``(time, sequence number)`` — is exactly the heap's.  These tests pin
+the ordering contract directly, exercise the bucket-rotation edge
+cases (simultaneous events, empty buckets, sparse far-future jumps,
+grow/shrink resizes), and A/B a contended synthetic graph plus a full
+SPI run under both queues.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.platform import (
+    CalendarQueue,
+    PESequencer,
+    ProcessingElement,
+    Simulator,
+    Waitset,
+)
+from repro.spi import SpiSystem
+
+
+def _drain(queue):
+    out = []
+    while len(queue):
+        out.append(queue.pop()[:2])
+    return out
+
+
+def test_simultaneous_events_preserve_heap_order():
+    """Same timestamp: the sequence number decides, exactly as the
+    heap's (time, seq) tuples do — scheduling order is FIFO."""
+    queue = CalendarQueue()
+    order = [3, 0, 4, 1, 2]
+    for seq in order:
+        queue.push(7, seq, lambda: None)
+    assert _drain(queue) == [(7, 0), (7, 1), (7, 2), (7, 3), (7, 4)]
+
+
+def test_pop_matches_heap_on_random_schedule():
+    rng = random.Random(11)
+    queue = CalendarQueue(bucket_width=4, min_buckets=4)
+    heap = []
+    seq = 0
+    popped = []
+    now = 0
+    for _ in range(2000):
+        if heap and rng.random() < 0.45:
+            entry = queue.pop()
+            assert entry[:2] == heapq.heappop(heap)[:2]
+            now = entry[0]
+            popped.append(entry[:2])
+        else:
+            # never in the past: the simulator's monotone-time contract
+            time = now + rng.randrange(0, 70)
+            queue.push(time, seq, lambda: None)
+            heapq.heappush(heap, (time, seq, None))
+            seq += 1
+    while heap:
+        assert queue.pop()[:2] == heapq.heappop(heap)[:2]
+    assert popped == sorted(popped)
+    assert len(queue) == 0
+
+
+def test_empty_bucket_rotation_and_sparse_jump():
+    """A far-future event beyond one full bucket rotation must still
+    pop (the sparse fallback jumps to the global minimum instead of
+    spinning through empty days)."""
+    queue = CalendarQueue(bucket_width=16, min_buckets=16)
+    # one rotation covers 16*16 = 256 cycles; this event is far past it
+    queue.push(100_000, 0, lambda: None)
+    assert queue.pop()[:2] == (100_000, 0)
+    # floor advanced: later pushes land relative to the new day
+    queue.push(100_001, 1, lambda: None)
+    queue.push(100_500, 2, lambda: None)
+    assert _drain(queue) == [(100_001, 1), (100_500, 2)]
+
+
+def test_wraparound_does_not_pop_future_event_early():
+    """Two events whose times collide in the same bucket modulo the
+    rotation: the day-window check must skip the far one on the first
+    rotation rather than popping it out of order."""
+    queue = CalendarQueue(bucket_width=16, min_buckets=4)
+    # rotation = 4 buckets * 16 = 64 cycles; 2 and 66 share bucket 0
+    queue.push(66, 0, lambda: None)
+    queue.push(2, 1, lambda: None)
+    assert _drain(queue) == [(2, 1), (66, 0)]
+
+
+def test_resize_grow_and_shrink_preserve_order():
+    queue = CalendarQueue(bucket_width=8, min_buckets=4)
+    entries = [(t * 3 % 97, seq) for seq, t in enumerate(range(200))]
+    for time, seq in entries:
+        queue.push(time, seq, lambda: None)
+    assert queue._nb > 4  # grew past the minimum
+    drained = []
+    while len(queue) > 10:
+        drained.append(queue.pop()[:2])
+    assert queue._nb < 200  # shrank back down as it emptied
+    drained.extend(_drain(queue))
+    assert drained == sorted(entries)
+
+
+def test_empty_pop_raises():
+    with pytest.raises(IndexError):
+        CalendarQueue().pop()
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        CalendarQueue(bucket_width=0)
+    with pytest.raises(ValueError):
+        CalendarQueue(min_buckets=1)
+    with pytest.raises(ValueError):
+        Simulator(queue="fifo")
+
+
+class _TokenQueue:
+    def __init__(self, name):
+        self.tokens = 0
+        self.waitset = Waitset(name)
+
+
+class _Producer:
+    """Round-robin producer feeding every consumer queue."""
+
+    def __init__(self, name, queues, sim):
+        self.name = name
+        self.queues = queues
+        self.sim = sim
+        self._count = 0
+
+    def ready(self, now):
+        return True
+
+    def start(self, now):
+        return 1
+
+    def finish(self, now):
+        queue = self.queues[self._count % len(self.queues)]
+        self._count += 1
+        queue.tokens += 1
+        queue.waitset.wake()
+        self.sim.notify()
+
+
+class _Consumer:
+    def __init__(self, name, queue, sim):
+        self.name = name
+        self.queue = queue
+        self.sim = sim
+
+    def ready(self, now):
+        return self.queue.tokens > 0
+
+    def wait_on(self, now):
+        return [self.queue.waitset]
+
+    def start(self, now):
+        self.queue.tokens -= 1
+        return 2
+
+    def finish(self, now):
+        self.sim.notify()
+
+
+def _run_contended(queue_policy, consumers=12, iterations=8):
+    """The broadcast-worst-case shape from the kernel bench, small."""
+    sim = Simulator(queue=queue_policy)
+    queues = [_TokenQueue(f"q{i}") for i in range(consumers)]
+    producer = PESequencer(
+        sim,
+        ProcessingElement(index=0, name="PE0"),
+        [_Producer("producer", queues, sim)],
+        iterations=iterations * consumers,
+    )
+    sequencers = [producer]
+    for i, queue in enumerate(queues):
+        sequencers.append(
+            PESequencer(
+                sim,
+                ProcessingElement(index=i + 1, name=f"PE{i + 1}"),
+                [_Consumer(f"cons{i}", queue, sim)],
+                iterations=iterations,
+            )
+        )
+    for sequencer in sequencers:
+        sequencer.begin()
+    sim.run()
+    return sim, [list(s.finish_times) for s in sequencers]
+
+
+def test_calendar_matches_heap_on_contended_graph():
+    heap_sim, heap_times = _run_contended("heap")
+    cal_sim, cal_times = _run_contended("calendar")
+    assert cal_times == heap_times
+    assert cal_sim.events_processed == heap_sim.events_processed
+    assert cal_sim.queue_policy == "calendar"
+
+
+def test_calendar_matches_heap_through_spi_run():
+    from repro.apps.lpc import build_parallel_error_graph, frame_stream
+
+    frames = frame_stream(total_samples=128, frame_size=64)
+
+    def run(queue):
+        system = build_parallel_error_graph(frames, order=4, n_units=2)
+        compiled = SpiSystem.compile(system.graph, system.partition)
+        return compiled.run(iterations=4, queue=queue)
+
+    heap_run = run("heap")
+    calendar_run = run("calendar")
+    assert calendar_run.cycles == heap_run.cycles
+    assert calendar_run.data_messages == heap_run.data_messages
+    assert calendar_run.ack_messages == heap_run.ack_messages
+    assert calendar_run.buffer_high_water == heap_run.buffer_high_water

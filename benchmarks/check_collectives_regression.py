@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Gate the collectives benchmark against its committed baseline.
+
+Usage::
+
+    python benchmarks/check_collectives_regression.py BASELINE.json CURRENT.json
+
+Gates, all applied to the current document:
+
+* **p >= 4 win** — at every PE count >= 4 the collective build must
+  move strictly fewer wire messages AND strictly fewer wire bytes than
+  the point-to-point fan-out (the ISSUE's acceptance criterion).
+* **message-count floor** — at the largest PE count the p2p/collective
+  wire-message ratio must stay >= 1.25.  The ratio is a property of the
+  lowering (counts are deterministic), so it holds in quick and full
+  mode alike and can be checked against a full-mode baseline from a
+  quick CI run.
+* **same-mode comparison** (same ``quick`` flag only) — wire messages
+  and wire bytes of the collective build must not exceed the baseline
+  at any PE count present in both documents; the counts are
+  deterministic, so any growth is a lowering regression, not noise.
+
+Exit status 0 = pass, 1 = regression, 2 = unusable input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: minimum p2p/collective wire-message ratio at the largest PE count
+REDUCTION_FLOOR = 1.25
+
+
+def load(path: str) -> dict:
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}")
+        raise SystemExit(2)
+    if document.get("name") != "collectives" or "rows" not in document.get(
+        "extra", {}
+    ):
+        print(f"{path} is not a collectives bench document")
+        raise SystemExit(2)
+    return document
+
+
+def check_current(current: dict) -> list:
+    failures = []
+    rows = current["extra"]["rows"]
+    for row in rows:
+        n = row["n_pes"]
+        p2p, coll = row["p2p"], row["collective"]
+        if n < 4:
+            continue
+        if coll["wire_messages"] >= p2p["wire_messages"]:
+            failures.append(
+                f"p={n}: collective wire messages {coll['wire_messages']} "
+                f"not below p2p {p2p['wire_messages']}"
+            )
+        if coll["wire_bytes"] >= p2p["wire_bytes"]:
+            failures.append(
+                f"p={n}: collective wire bytes {coll['wire_bytes']} "
+                f"not below p2p {p2p['wire_bytes']}"
+            )
+    largest = max(rows, key=lambda r: r["n_pes"])
+    coll_msgs = largest["collective"]["wire_messages"]
+    if coll_msgs <= 0:
+        failures.append("largest-p collective build sent no wire messages")
+    else:
+        ratio = largest["p2p"]["wire_messages"] / coll_msgs
+        if ratio < REDUCTION_FLOOR:
+            failures.append(
+                f"p={largest['n_pes']}: message reduction {ratio:.2f}x "
+                f"below the {REDUCTION_FLOOR}x floor"
+            )
+    return failures
+
+
+def check_against_baseline(baseline: dict, current: dict) -> list:
+    if baseline.get("quick") != current.get("quick"):
+        print(
+            "baseline/current were produced in different modes "
+            "(quick vs full); applying the current-document gates only"
+        )
+        return []
+    failures = []
+    baseline_rows = {
+        row["n_pes"]: row for row in baseline["extra"]["rows"]
+    }
+    for row in current["extra"]["rows"]:
+        base = baseline_rows.get(row["n_pes"])
+        if base is None:
+            continue
+        for metric in ("wire_messages", "wire_bytes"):
+            now = row["collective"][metric]
+            then = base["collective"][metric]
+            if now > then:
+                failures.append(
+                    f"p={row['n_pes']}: collective {metric} grew "
+                    f"{then} -> {now}"
+                )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load(argv[1])
+    current = load(argv[2])
+    failures = check_current(current)
+    failures += check_against_baseline(baseline, current)
+    if failures:
+        print("collectives regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("collectives regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

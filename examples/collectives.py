@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Walkthrough: first-class collective connections vs manual fan-out.
+
+A broadcast used to be modeled as N independent FIFO edges carrying N
+copies of one payload — N sends, N ack windows, N resync edges.  With a
+``Connection`` hyperedge the graph states the intent once and every
+layer below exploits it: one send actor, one wire transfer per link (or
+per bus transaction), per-consumer delivery bookkeeping, and three new
+transport counters that make the saving measurable:
+
+* ``collective_messages``  — transfers actually put on the wire,
+* ``fan_out_deliveries``   — consumer copies delivered from them,
+* ``wire_bytes_saved``     — logical minus wire bytes (shared payload).
+
+Run:  python examples/collectives.py
+"""
+
+from repro import DataflowGraph, Partition, SpiSystem
+from repro.analysis import render_table
+from repro.spi import SpiConfig
+
+RATE = 8          # tokens per firing
+N_CONSUMERS = 3   # fan-out of the broadcast
+ITERATIONS = 20
+
+
+def manual_fanout_graph():
+    """The old idiom: one output port (and one copy) per consumer."""
+    graph = DataflowGraph("manual")
+    src = graph.actor("src", cycles=50)
+    for j in range(N_CONSUMERS):
+        src.add_output(f"o{j}", rate=RATE)
+        snk = graph.actor(f"snk{j}", cycles=80)
+        snk.add_input("i", rate=RATE)
+        graph.connect((src, f"o{j}"), (graph.get_actor(f"snk{j}"), "i"))
+    return graph
+
+
+def broadcast_graph():
+    """The collective idiom: one port, one hyperedge, N branches."""
+    graph = DataflowGraph("collective")
+    src = graph.actor("src", cycles=50)
+    src.add_output("o", rate=RATE)
+    for j in range(N_CONSUMERS):
+        snk = graph.actor(f"snk{j}", cycles=80)
+        snk.add_input("i", rate=RATE)
+    graph.add_broadcast(
+        "src.o", [f"snk{j}.i" for j in range(N_CONSUMERS)], name="frame"
+    )
+    return graph
+
+
+def run(graph, transport="shared_bus"):
+    assignment = {
+        actor.name: 0 if actor.name == "src" else 1 + int(actor.name[3:]) % 2
+        for actor in graph.actors
+    }
+    partition = Partition.manual(graph, assignment)
+    system = SpiSystem.compile(
+        graph, partition, SpiConfig(transport=transport)
+    )
+    return system.run(iterations=ITERATIONS, metrics=True)
+
+
+def main() -> None:
+    rows = []
+    for label, graph in (
+        ("manual fan-out", manual_fanout_graph()),
+        ("broadcast", broadcast_graph()),
+    ):
+        result = run(graph)
+        wire_msgs = (
+            result.data_messages
+            - result.fan_out_deliveries
+            + result.collective_messages
+        )
+        rows.append(
+            [
+                label,
+                str(result.data_messages),
+                str(wire_msgs),
+                str(result.wire_bytes - result.wire_bytes_saved),
+                str(result.wire_bytes_saved),
+                f"{result.execution_time_us:.1f}",
+            ]
+        )
+    print(
+        f"{N_CONSUMERS}-way fan-out of {RATE * 4}B per firing, "
+        f"{ITERATIONS} iterations, shared bus:\n"
+    )
+    print(render_table(
+        [
+            "idiom",
+            "deliveries",
+            "wire msgs",
+            "wire bytes",
+            "bytes saved",
+            "time us",
+        ],
+        rows,
+    ))
+
+    # the degenerate case: one consumer is just a FIFO edge again
+    graph = DataflowGraph("degenerate")
+    src = graph.actor("src", cycles=50)
+    src.add_output("o", rate=RATE)
+    snk = graph.actor("snk0", cycles=80)
+    snk.add_input("i", rate=RATE)
+    graph.add_broadcast("src.o", ["snk0.i"])
+    degenerate = run(graph)
+    print(
+        f"\n1-consumer broadcast degenerates to a plain FIFO: "
+        f"{degenerate.collective_messages} collective transfers, "
+        f"{degenerate.wire_bytes_saved}B saved — identical to a "
+        f"point-to-point edge by construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

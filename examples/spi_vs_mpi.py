@@ -10,6 +10,7 @@ Run:  python examples/spi_vs_mpi.py
 
 from repro import DataflowGraph, MpiSystem, Partition, SpiSystem
 from repro.analysis import render_table
+from repro.spi import SpiConfig
 
 
 def make_pipeline(rate: int, token_bytes: int = 4):
@@ -26,6 +27,75 @@ def make_pipeline(rate: int, token_bytes: int = 4):
     graph.connect((b, "o"), (c, "i"))
     partition = Partition.manual(graph, {"A": 0, "B": 1, "C": 0})
     return graph, partition
+
+
+def make_fanout(rate: int, n_workers: int = 3, token_bytes: int = 4):
+    """One producer broadcasting a frame to ``n_workers`` worker PEs.
+
+    This used to be modeled as ``n_workers`` independent edges carrying
+    N copies of the same payload; a first-class broadcast connection
+    lets SPI share the wire transfer on a bus and lets the MPI baseline
+    amortize the software send path (MPI_Bcast-style).
+    """
+    graph = DataflowGraph(f"fanout_{rate}")
+    src = graph.actor("src", cycles=60)
+    src.add_output("o", rate=rate, token_bytes=token_bytes)
+    for w in range(n_workers):
+        worker = graph.actor(f"w{w}", cycles=120)
+        worker.add_input("i", rate=rate, token_bytes=token_bytes)
+    graph.add_broadcast(
+        "src.o", [f"w{w}.i" for w in range(n_workers)], name="frame"
+    )
+    assignment = {"src": 0}
+    assignment.update({f"w{w}": 1 + w // 2 for w in range(n_workers)})
+    partition = Partition.manual(graph, assignment)
+    return graph, partition
+
+
+def broadcast_ablation(iterations: int = 30) -> None:
+    """Both layers lower the *same* broadcast connection; the counters
+    show where each one wins (or doesn't)."""
+    rows = []
+    for rate in (8, 64):
+        graph, partition = make_fanout(rate)
+        spi = SpiSystem.compile(
+            graph, partition, SpiConfig(transport="shared_bus")
+        ).run(iterations=iterations, metrics=True)
+        graph, partition = make_fanout(rate)
+        mpi = MpiSystem.compile(graph, partition).run(iterations=iterations)
+        wire_msgs = (
+            spi.data_messages - spi.fan_out_deliveries
+            + spi.collective_messages
+        )
+        rows.append(
+            [
+                f"{rate * 4}B x3",
+                f"{wire_msgs} / {spi.data_messages}",
+                str(spi.wire_bytes - spi.wire_bytes_saved),
+                str(mpi.data_messages),
+                str(mpi.payload_bytes + mpi.header_bytes),
+                f"{mpi.execution_time_us / spi.execution_time_us:.2f}x",
+            ]
+        )
+    print(render_table(
+        [
+            "broadcast",
+            "SPI wire/deliv",
+            "SPI wire B",
+            "MPI msgs",
+            "MPI wire B",
+            "SPI speedup",
+        ],
+        rows,
+    ))
+    print(
+        "\nOne logical broadcast is no longer N independent copies: SPI "
+        "puts each payload\non the shared bus once per firing "
+        "(collective_messages) and fans it out at the\nreceivers "
+        "(fan_out_deliveries); the MPI baseline still injects one "
+        "envelope+payload\nper destination rank, only the send-side "
+        "software cost is amortized."
+    )
 
 
 def main() -> None:
@@ -68,8 +138,9 @@ def main() -> None:
     print(
         "\nSPI wins twice: tiny compile-time headers (4-8 bytes vs a "
         "24-byte envelope)\nand no run-time matching or handshakes — the "
-        "dataflow graph already resolved\nevery endpoint at compile time."
+        "dataflow graph already resolved\nevery endpoint at compile time.\n"
     )
+    broadcast_ablation(iterations)
 
 
 if __name__ == "__main__":

@@ -210,6 +210,15 @@ def render_metrics_summary(document: Dict) -> str:
         f"transport: {transport['type']}, {transport['messages']} msg, "
         f"{transport['bytes']}B",
         f"wire bytes by kind: {split_text}",
+    ]
+    if transport.get("collective_messages", 0):
+        lines.append(
+            f"collectives: {transport['collective_messages']} wire "
+            f"transfer(s) fanned out to "
+            f"{transport['fan_out_deliveries']} deliveries, "
+            f"{transport['wire_bytes_saved']}B saved by payload sharing"
+        )
+    lines += [
         f"simulator: {sim['events_processed']} events, {sim['parks']} parks, "
         f"{sim['retry_rounds']} retry rounds",
         f"wakeups ({sim.get('wakeup_policy', 'targeted')}): "

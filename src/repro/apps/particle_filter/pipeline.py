@@ -158,20 +158,37 @@ class _Updater:
 
 
 class _PartialSum:
-    """Actor S1_i: local weight sum, broadcast to the other PEs."""
+    """Actor S1_i: local weight sum, broadcast to the other PEs.
 
-    def __init__(self, capacity: int, n_pes: int, pe_index: int) -> None:
+    With ``collectives`` the sum leaves through ONE ``wsum`` port that a
+    broadcast connection fans out (one shared-payload wire transfer per
+    link); without it the actor keeps the legacy per-destination
+    ``wsum_to_{j}`` ports (n-1 independent point-to-point copies).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        n_pes: int,
+        pe_index: int,
+        collectives: bool = False,
+    ) -> None:
         self.capacity = capacity
         self.n_pes = n_pes
         self.pe_index = pe_index
+        self.collectives = collectives
 
     def kernel(self, firing_index: int, inputs: Dict[str, list]) -> Dict[str, list]:
         weighted = list(inputs["weighted"])
         total = float(sum(w for _, w in weighted))
         outputs: Dict[str, list] = {"pass": weighted}
-        for other in range(self.n_pes):
-            if other != self.pe_index:
-                outputs[f"wsum_to_{other}"] = [total]
+        if self.collectives:
+            if self.n_pes > 1:
+                outputs["wsum"] = [total]
+        else:
+            for other in range(self.n_pes):
+                if other != self.pe_index:
+                    outputs[f"wsum_to_{other}"] = [total]
         return outputs
 
     def cycles(self, firing_index: int, inputs: Dict[str, list]) -> int:
@@ -291,11 +308,18 @@ def build_particle_filter_graph(
     n_particles: int,
     n_pes: int,
     seed: int = 11,
+    collectives: bool = True,
 ) -> DistributedParticleFilterSystem:
     """Build the n-PE distributed particle filter of the paper's §5.3.
 
     ``n_particles`` must be divisible by ``n_pes`` ("particles are
     equally distributed among PEs").
+
+    ``collectives`` routes each S1 partial sum through one broadcast
+    connection instead of n-1 point-to-point copies; ``False`` keeps
+    the legacy fan-out for A/B comparison.  The S2 -> S3 particle
+    exchange stays point-to-point either way: its rates are run-time
+    varying and collective connections require static rates.
     """
     if n_pes < 1:
         raise ValueError("n_pes must be >= 1")
@@ -317,7 +341,7 @@ def build_particle_filter_graph(
     for pe in range(n_pes):
         estimator = _Estimator(model, capacity, seed=seed + 1 + pe)
         updater = _Updater(model, observations, capacity, pe, collected)
-        partial = _PartialSum(capacity, n_pes, pe)
+        partial = _PartialSum(capacity, n_pes, pe, collectives=collectives)
         resampler = _LocalResampler(capacity, n_pes, pe)
         assembler = _Assembler(capacity, n_pes, pe)
 
@@ -366,18 +390,44 @@ def build_particle_filter_graph(
             assignment[f"{name}_{pe}"] = pe
 
     # Cross-PE exchanges: weight sums (static) and particles (dynamic).
+    if collectives and n_pes > 1:
+        # One broadcast connection per S1: one `wsum` output port fanned
+        # out to every other PE's resampler (shared-payload transfers).
+        for src in range(n_pes):
+            graph.get_actor(f"S1_{src}").add_output(
+                "wsum", rate=1, token_bytes=WSUM_BYTES
+            )
+            for dst in range(n_pes):
+                if dst != src:
+                    graph.get_actor(f"S2_{dst}").add_input(
+                        f"wsum_from_{src}", rate=1, token_bytes=WSUM_BYTES
+                    )
+            graph.add_broadcast(
+                f"S1_{src}.wsum",
+                [
+                    f"S2_{dst}.wsum_from_{src}"
+                    for dst in range(n_pes)
+                    if dst != src
+                ],
+                name=f"wsum_{src}",
+            )
     for src in range(n_pes):
         for dst in range(n_pes):
             if src == dst:
                 continue
-            s1_src = graph.get_actor(f"S1_{src}")
-            s2_dst = graph.get_actor(f"S2_{dst}")
-            s1_src.add_output(f"wsum_to_{dst}", rate=1, token_bytes=WSUM_BYTES)
-            s2_dst.add_input(f"wsum_from_{src}", rate=1, token_bytes=WSUM_BYTES)
-            graph.connect(
-                (s1_src, f"wsum_to_{dst}"), (s2_dst, f"wsum_from_{src}"),
-                name=f"wsum_{src}_to_{dst}",
-            )
+            if not (collectives and n_pes > 1):
+                s1_src = graph.get_actor(f"S1_{src}")
+                s2_dst = graph.get_actor(f"S2_{dst}")
+                s1_src.add_output(
+                    f"wsum_to_{dst}", rate=1, token_bytes=WSUM_BYTES
+                )
+                s2_dst.add_input(
+                    f"wsum_from_{src}", rate=1, token_bytes=WSUM_BYTES
+                )
+                graph.connect(
+                    (s1_src, f"wsum_to_{dst}"), (s2_dst, f"wsum_from_{src}"),
+                    name=f"wsum_{src}_to_{dst}",
+                )
 
             s2_src = graph.get_actor(f"S2_{src}")
             s3_dst = graph.get_actor(f"S3_{dst}")

@@ -27,7 +27,12 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.conformance.spec import ActorSpec, EdgeSpec, GraphSpec
+from repro.conformance.spec import (
+    ActorSpec,
+    ConnectionSpec,
+    EdgeSpec,
+    GraphSpec,
+)
 
 __all__ = ["GraphShape", "generate_spec"]
 
@@ -53,6 +58,9 @@ class GraphShape:
     dynamic_prob: float = 0.25
     max_dynamic_bound: int = 4
     max_pes: int = 3
+    #: probability of adding one collective (broadcast/gather) connection
+    collective_prob: float = 0.0
+    max_collective_branches: int = 3
 
     def __post_init__(self) -> None:
         if not 1 <= self.min_actors <= self.max_actors:
@@ -67,8 +75,10 @@ class GraphShape:
             raise ValueError("max_pes must be >= 1")
         if self.max_delay_iterations < 1:
             raise ValueError("max_delay_iterations must be >= 1")
+        if self.max_collective_branches < 1:
+            raise ValueError("max_collective_branches must be >= 1")
         for name in ("extra_edge_prob", "feedback_prob", "delay_prob",
-                     "dynamic_prob"):
+                     "dynamic_prob", "collective_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -191,6 +201,37 @@ def generate_spec(seed: int, shape: Optional[GraphShape] = None) -> GraphSpec:
             )
         )
 
+    # optionally one collective connection: a broadcast from an early
+    # actor to later ones, or a gather from early actors into a late one
+    # (hub/branch choices keep the added edges forward, so the DAG — and
+    # its PASS admissibility — is preserved)
+    connections = []
+    # collective_prob == 0 must not touch the rng stream at all, so
+    # pre-collective seeds keep generating bit-identical graphs
+    if (
+        shape.collective_prob > 0
+        and n_actors >= 3
+        and rng.random() < shape.collective_prob
+    ):
+        kind = rng.choice(("broadcast", "gather"))
+        max_branches = min(shape.max_collective_branches, n_actors - 1)
+        n_branches = rng.randint(1, max_branches)
+        if kind == "broadcast":
+            hub_i = rng.randrange(n_actors - n_branches)
+            branch_is = rng.sample(range(hub_i + 1, n_actors), n_branches)
+        else:
+            hub_i = rng.randrange(n_branches, n_actors)
+            branch_is = rng.sample(range(hub_i), n_branches)
+        connections.append(
+            ConnectionSpec(
+                kind=kind,
+                hub=actors[hub_i].name,
+                branches=tuple(actors[i].name for i in sorted(branch_is)),
+                rate_factor=rng.randint(1, shape.max_rate_factor),
+                token_bytes=shape.token_bytes,
+            )
+        )
+
     n_pes = rng.randint(1, shape.max_pes)
     assignment = tuple(
         (actor.name, rng.randrange(n_pes)) for actor in actors
@@ -201,4 +242,5 @@ def generate_spec(seed: int, shape: Optional[GraphShape] = None) -> GraphSpec:
         edges=tuple(edges),
         n_pes=n_pes,
         assignment=assignment,
+        connections=tuple(connections),
     )

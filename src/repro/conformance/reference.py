@@ -54,18 +54,38 @@ def run_reference(
     for _ in range(iterations):
         for actor in schedule:
             index = firing_counts[actor.name]
-            consumed: Dict[str, list] = {}
+            # Pop per member edge (a gather/reduce sink port has several
+            # in-edges); assemble per port via the owning connection.
+            branch_pops: Dict[str, List[tuple]] = {}
             for edge in graph.in_edges(actor):
                 fifo = fifos[edge.edge_id]
-                rate = edge.sink.rate
+                rate = edge.cons_rate
                 if len(fifo) < rate:
                     raise ReferenceError(
                         f"PASS starved: {actor.name} firing {index} needs "
                         f"{rate} tokens on {edge.name!r}, has {len(fifo)}"
                     )
-                consumed[edge.sink.name] = [fifo.popleft() for _ in range(rate)]
+                values = [fifo.popleft() for _ in range(rate)]
+                branch_pops.setdefault(edge.sink.name, []).append(
+                    (edge.branch_index, edge.connection, values)
+                )
+            consumed: Dict[str, list] = {}
+            for port_name, branches in branch_pops.items():
+                branches.sort(key=lambda item: item[0])
+                connection = branches[0][1]
+                if connection is None or len(branches) == 1 and (
+                    connection.kind != connection.REDUCE
+                ):
+                    consumed[port_name] = branches[0][2]
+                else:
+                    consumed[port_name] = connection.assemble(
+                        [values for _, _, values in branches]
+                    )
             produced = actor.fire(index, consumed)
             for edge in graph.out_edges(actor):
-                fifos[edge.edge_id].extend(produced[edge.source.name])
+                tokens = produced[edge.source.name]
+                if edge.connection is not None:
+                    tokens = edge.connection.produced_tokens(edge, tokens)
+                fifos[edge.edge_id].extend(tokens)
             firing_counts[actor.name] = index + 1
     return case.tap.streams(label)

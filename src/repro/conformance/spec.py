@@ -35,6 +35,7 @@ from repro.mapping.partition import Partition
 __all__ = [
     "ActorSpec",
     "EdgeSpec",
+    "ConnectionSpec",
     "GraphSpec",
     "SpecError",
     "TokenTap",
@@ -121,6 +122,48 @@ class EdgeSpec:
 
 
 @dataclass(frozen=True)
+class ConnectionSpec:
+    """One collective connection: a hub port fanned over branch actors.
+
+    ``hub`` is the shared endpoint (the producer of a broadcast, the
+    consumer of a gather); ``branches`` are the fanned actors in branch
+    order.  Rates are derived from one LCM over the hub's and every
+    branch's repetitions, so each member edge satisfies its balance
+    equation while the hub keeps a single shared port:
+
+    * broadcast: hub produces ``k*L/q_hub`` per firing, branch ``i``
+      consumes ``k*L/q_i`` (every branch sees the full token stream);
+    * gather: branch ``i`` produces ``k*L/q_i``, the hub port consumes
+      ``n * k*L/q_hub`` split into equal per-branch chunks.
+    """
+
+    kind: str
+    hub: str
+    branches: Tuple[str, ...]
+    rate_factor: int = 1
+    token_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("broadcast", "gather"):
+            raise SpecError(
+                f"connection kind {self.kind!r} not supported by the "
+                f"conformance spec (broadcast | gather)"
+            )
+        if not self.branches:
+            raise SpecError(f"{self.kind} connection needs >= 1 branch")
+        if len(set(self.branches)) != len(self.branches):
+            raise SpecError(f"{self.kind} connection: duplicate branches")
+        if self.hub in self.branches:
+            raise SpecError(
+                f"{self.kind} connection: hub {self.hub!r} is a branch"
+            )
+        if self.rate_factor < 1:
+            raise SpecError(f"{self.kind} connection: rate_factor >= 1")
+        if self.token_bytes < 1:
+            raise SpecError(f"{self.kind} connection: token_bytes >= 1")
+
+
+@dataclass(frozen=True)
 class GraphSpec:
     """A complete, replayable conformance case."""
 
@@ -129,6 +172,7 @@ class GraphSpec:
     edges: Tuple[EdgeSpec, ...]
     n_pes: int
     assignment: Tuple[Tuple[str, int], ...]
+    connections: Tuple[ConnectionSpec, ...] = ()
 
     def __post_init__(self) -> None:
         names = [a.name for a in self.actors]
@@ -141,6 +185,12 @@ class GraphSpec:
             for endpoint in (edge.src, edge.snk):
                 if endpoint not in known:
                     raise SpecError(f"edge endpoint {endpoint!r} unknown")
+        for conn in self.connections:
+            for endpoint in (conn.hub, *conn.branches):
+                if endpoint not in known:
+                    raise SpecError(
+                        f"connection endpoint {endpoint!r} unknown"
+                    )
         if self.n_pes < 1:
             raise SpecError("n_pes must be >= 1")
         assigned = dict(self.assignment)
@@ -169,6 +219,30 @@ class GraphSpec:
         lcm = q_src * q_snk // math.gcd(q_src, q_snk)
         return edge.rate_factor * lcm // q_src, edge.rate_factor * lcm // q_snk
 
+    def resolved_connection_rates(
+        self, conn: ConnectionSpec
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """``(hub port rate, per-branch rates)`` for a collective.
+
+        One LCM over hub + branches makes every member edge balanced
+        while the hub keeps one shared port: each member edge moves
+        ``rate_factor * L`` tokens per graph iteration.
+        """
+        reps = [self.actor(conn.hub).repetitions] + [
+            self.actor(b).repetitions for b in conn.branches
+        ]
+        lcm = reps[0]
+        for q in reps[1:]:
+            lcm = lcm * q // math.gcd(lcm, q)
+        hub_rate = conn.rate_factor * lcm // reps[0]
+        branch_rates = tuple(
+            conn.rate_factor * lcm // q for q in reps[1:]
+        )
+        if conn.kind == "gather":
+            # the hub port carries every branch's chunk per firing
+            hub_rate *= len(conn.branches)
+        return hub_rate, branch_rates
+
     # -- serialisation -----------------------------------------------------
 
     def to_json(self) -> Dict[str, object]:
@@ -192,6 +266,16 @@ class GraphSpec:
                     "rate_sequence": list(e.rate_sequence),
                 }
                 for e in self.edges
+            ],
+            "connections": [
+                {
+                    "kind": c.kind,
+                    "hub": c.hub,
+                    "branches": list(c.branches),
+                    "rate_factor": c.rate_factor,
+                    "token_bytes": c.token_bytes,
+                }
+                for c in self.connections
             ],
             "n_pes": self.n_pes,
             "assignment": {name: pe for name, pe in self.assignment},
@@ -222,6 +306,16 @@ class GraphSpec:
                     rate_sequence=tuple(int(v) for v in e["rate_sequence"]),
                 )
                 for e in document["edges"]
+            ),
+            connections=tuple(
+                ConnectionSpec(
+                    kind=c["kind"],
+                    hub=c["hub"],
+                    branches=tuple(c["branches"]),
+                    rate_factor=int(c["rate_factor"]),
+                    token_bytes=int(c["token_bytes"]),
+                )
+                for c in document.get("connections", [])
             ),
             n_pes=int(document["n_pes"]),
             assignment=tuple(
@@ -366,6 +460,44 @@ def build_case(spec: GraphSpec) -> ConformanceCase:
             )
             producers[edge.src].append((f"o{index}", lambda k, n=prod: n))
         graph.connect(out_port, in_port, delay=edge.delay_tokens)
+
+    # Collective connections get their own port namespace (``co<m>`` /
+    # ``ci<m>``) so deleting one from the spec deletes its ports too.
+    for index, conn in enumerate(spec.connections):
+        hub = graph.get_actor(conn.hub)
+        hub_rate, branch_rates = spec.resolved_connection_rates(conn)
+        if conn.kind == "broadcast":
+            hub.add_output(
+                f"co{index}", rate=hub_rate, token_bytes=conn.token_bytes
+            )
+            producers[conn.hub].append((f"co{index}", lambda k, n=hub_rate: n))
+            sinks = []
+            for branch, rate in zip(conn.branches, branch_rates):
+                graph.get_actor(branch).add_input(
+                    f"ci{index}", rate=rate, token_bytes=conn.token_bytes
+                )
+                sinks.append(f"{branch}.ci{index}")
+            graph.add_broadcast(
+                f"{conn.hub}.co{index}", sinks, name=f"bcast{index}"
+            )
+        else:  # gather
+            chunk = hub_rate // len(conn.branches)
+            hub.add_input(
+                f"ci{index}", rate=hub_rate, token_bytes=conn.token_bytes
+            )
+            sources = []
+            for branch, rate in zip(conn.branches, branch_rates):
+                graph.get_actor(branch).add_output(
+                    f"co{index}", rate=rate, token_bytes=conn.token_bytes
+                )
+                producers[branch].append((f"co{index}", lambda k, n=rate: n))
+                sources.append(f"{branch}.co{index}")
+            graph.add_gather(
+                sources,
+                f"{conn.hub}.ci{index}",
+                chunks=[chunk] * len(conn.branches),
+                name=f"gather{index}",
+            )
 
     for actor_spec in spec.actors:
         actor = graph.get_actor(actor_spec.name)

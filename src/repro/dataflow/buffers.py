@@ -39,7 +39,7 @@ def sdf_buffer_bounds(
     reps = repetitions if repetitions is not None else repetitions_vector(graph)
     if method == "conservative":
         return {
-            e.edge_id: reps[e.src_actor.name] * e.source.rate + e.delay
+            e.edge_id: reps[e.src_actor.name] * e.prod_rate + e.delay
             for e in graph.edges
         }
     if method == "simulate":
@@ -66,14 +66,14 @@ def simulate_edge_occupancy(
     for _ in range(iterations):
         for actor in schedule:
             for edge in graph.in_edges(actor):
-                tokens[edge.edge_id] -= edge.sink.rate
+                tokens[edge.edge_id] -= edge.cons_rate
                 if tokens[edge.edge_id] < 0:
                     raise SdfError(
                         f"PASS underflowed edge {edge.name}; schedule is "
                         f"not admissible"
                     )
             for edge in graph.out_edges(actor):
-                tokens[edge.edge_id] += edge.source.rate
+                tokens[edge.edge_id] += edge.prod_rate
                 if tokens[edge.edge_id] > high[edge.edge_id]:
                     high[edge.edge_id] = tokens[edge.edge_id]
     return high

@@ -14,6 +14,15 @@ Bhattacharyya's *Embedded Multiprocessors* book, which the paper builds on:
   fixed number of tokens on each output port;
 * an **edge** is a conceptually unbounded FIFO connecting one output port
   to one input port, optionally carrying ``delay`` initial tokens;
+* a **connection** generalises the edge to a hyperedge (after
+  Liu/Barford/Bhattacharyya's generalized graph connections): a
+  point-to-point FIFO is the degenerate one-branch case, while
+  broadcast/scatter fan one producer port out to k consumer ports and
+  gather/reduce fan k producer ports into one consumer port.  Every
+  connection *lowers* to one member :class:`Edge` per branch, so all
+  edge-based analyses (repetitions vector, PASS, HSDF, IPC graph) keep
+  working unchanged — they only need to read the per-branch
+  ``Edge.prod_rate`` / ``Edge.cons_rate`` instead of the raw port rates;
 * a **port rate** is an integer for static (SDF) ports, or a
   :class:`~repro.dataflow.dynamic.DynamicRate` bound for dynamic ports
   (see :mod:`repro.dataflow.dynamic`).
@@ -32,6 +41,7 @@ __all__ = [
     "Port",
     "Actor",
     "Edge",
+    "Connection",
     "DataflowGraph",
     "GraphError",
 ]
@@ -284,6 +294,42 @@ class Edge:
         #: optional concrete values for the ``delay`` initial tokens; when
         #: None the functional simulator uses ``None`` placeholders
         self.initial_tokens: Optional[list] = None
+        #: owning :class:`Connection` (every edge belongs to exactly one;
+        #: a plain ``connect()`` wraps the edge in a degenerate FIFO
+        #: connection) and this edge's position among its branches
+        self.connection: Optional["Connection"] = None
+        self.branch_index: int = 0
+        #: scatter/gather chunk sizes: a scatter branch produces fewer
+        #: tokens than its (shared) source port rate, a gather branch
+        #: consumes fewer than its (shared) sink port rate
+        self.prod_rate_override: Optional[int] = None
+        self.cons_rate_override: Optional[int] = None
+
+    @property
+    def prod_rate(self) -> "Rate":
+        """Tokens produced on this edge per source-actor firing."""
+        if self.prod_rate_override is not None:
+            return self.prod_rate_override
+        return self.source.rate
+
+    @property
+    def cons_rate(self) -> "Rate":
+        """Tokens consumed from this edge per sink-actor firing."""
+        if self.cons_rate_override is not None:
+            return self.cons_rate_override
+        return self.sink.rate
+
+    @property
+    def max_prod_rate(self) -> int:
+        if self.prod_rate_override is not None:
+            return self.prod_rate_override
+        return self.source.max_rate
+
+    @property
+    def max_cons_rate(self) -> int:
+        if self.cons_rate_override is not None:
+            return self.cons_rate_override
+        return self.sink.max_rate
 
     def set_initial_tokens(self, values: list) -> None:
         """Provide concrete values for the initial (delay) tokens."""
@@ -329,6 +375,185 @@ class Edge:
         )
 
 
+def _elementwise_add(branches: List[list]) -> list:
+    """Default reduce combine: position-wise sum, tolerating ``None``.
+
+    Structural actors circulate ``None`` placeholder tokens; a reduce
+    over placeholders must stay a placeholder rather than crash.
+    """
+    out = []
+    for values in zip(*branches):
+        concrete = [v for v in values if v is not None]
+        if not concrete:
+            out.append(None)
+            continue
+        acc = concrete[0]
+        for value in concrete[1:]:
+            acc = acc + value
+        out.append(acc)
+    return out
+
+
+class Connection:
+    """A (hyper)edge owning one member :class:`Edge` per branch.
+
+    Kinds
+    -----
+    ``fifo``
+        The degenerate point-to-point case: exactly one branch.  Every
+        :meth:`DataflowGraph.connect` edge is wrapped in one.
+    ``broadcast``
+        One producer port, k consumer ports; every consumer receives a
+        full copy of the produced tokens (branch rates are the natural
+        port rates; only the wire lowering is shared).
+    ``scatter``
+        One producer port, k consumer ports; the produced tokens are
+        split into per-branch ``chunks`` (default: even split) in branch
+        order, so branch i carries ``chunks[i]`` tokens per firing
+        (``Edge.prod_rate_override``).
+    ``gather``
+        k producer ports, one consumer port; the consumer pops
+        ``chunks[i]`` tokens from branch i per firing (default: even
+        split; ``Edge.cons_rate_override``) and sees the concatenation
+        in branch order.
+    ``reduce``
+        k producer ports, one consumer port; every branch carries the
+        full consumer rate and the consumer sees the element-wise
+        combination (``combine``, default: position-wise ``+``).
+
+    A connection is *collective* only when it is non-FIFO **and** has
+    more than one branch — a 1-consumer broadcast or 1-producer gather
+    is bit-identical to a plain FIFO edge by construction.
+    """
+
+    FIFO = "fifo"
+    BROADCAST = "broadcast"
+    SCATTER = "scatter"
+    GATHER = "gather"
+    REDUCE = "reduce"
+    KINDS = (FIFO, BROADCAST, SCATTER, GATHER, REDUCE)
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        kind: str,
+        edges: List[Edge],
+        name: Optional[str] = None,
+        chunks: Optional[List[int]] = None,
+        combine: Optional[Callable[[List[list]], list]] = None,
+    ) -> None:
+        if kind not in self.KINDS:
+            raise GraphError(
+                f"unknown connection kind {kind!r}; known: {self.KINDS}"
+            )
+        if not edges:
+            raise GraphError("a connection needs at least one member edge")
+        if kind == self.FIFO and len(edges) != 1:
+            raise GraphError("a FIFO connection has exactly one branch")
+        self.kind = kind
+        self.edges: Tuple[Edge, ...] = tuple(edges)
+        self.connection_id = next(Connection._ids)
+        self.name = name or f"{kind}_{self.connection_id}"
+        self.chunks: Optional[Tuple[int, ...]] = (
+            tuple(chunks) if chunks is not None else None
+        )
+        self.combine = combine
+        for index, edge in enumerate(self.edges):
+            edge.connection = self
+            edge.branch_index = index
+        if self.chunks is not None:
+            if len(self.chunks) != len(self.edges):
+                raise GraphError(
+                    f"connection {self.name}: {len(self.chunks)} chunks "
+                    f"for {len(self.edges)} branches"
+                )
+            if any(c <= 0 for c in self.chunks):
+                raise GraphError(
+                    f"connection {self.name}: chunk sizes must be positive"
+                )
+            if kind == self.SCATTER:
+                for edge, chunk in zip(self.edges, self.chunks):
+                    edge.prod_rate_override = chunk
+            elif kind == self.GATHER:
+                for edge, chunk in zip(self.edges, self.chunks):
+                    edge.cons_rate_override = chunk
+            else:
+                raise GraphError(
+                    f"connection {self.name}: chunks only apply to "
+                    f"scatter/gather, not {kind!r}"
+                )
+
+    @property
+    def is_collective(self) -> bool:
+        """Non-FIFO with more than one branch (degenerates stay FIFO-like)."""
+        return self.kind != self.FIFO and len(self.edges) > 1
+
+    @property
+    def fan_out(self) -> int:
+        return len(self.edges)
+
+    @property
+    def source_ports(self) -> Tuple[Port, ...]:
+        seen: Dict[int, Port] = {}
+        for edge in self.edges:
+            seen.setdefault(id(edge.source), edge.source)
+        return tuple(seen.values())
+
+    @property
+    def sink_ports(self) -> Tuple[Port, ...]:
+        seen: Dict[int, Port] = {}
+        for edge in self.edges:
+            seen.setdefault(id(edge.sink), edge.sink)
+        return tuple(seen.values())
+
+    def branch_span(self, branch_index: int) -> Tuple[int, int]:
+        """(start, stop) slice of the produced tokens for a scatter branch."""
+        if self.kind != self.SCATTER:
+            raise GraphError(
+                f"connection {self.name}: branch_span only applies to scatter"
+            )
+        chunks = self.chunks or tuple(
+            e.prod_rate_override or 0 for e in self.edges
+        )
+        start = sum(chunks[:branch_index])
+        return start, start + chunks[branch_index]
+
+    def produced_tokens(self, edge: Edge, tokens: list) -> list:
+        """The portion of one firing's output carried by member ``edge``."""
+        if self.kind == self.SCATTER:
+            start, stop = self.branch_span(edge.branch_index)
+            return list(tokens[start:stop])
+        return list(tokens)
+
+    def assemble(self, branch_values: List[list]) -> list:
+        """Combine per-branch consumed tokens (branch order) for the sink.
+
+        ``gather`` concatenates, ``reduce`` applies ``combine``; a single
+        branch passes through unchanged for every other kind.
+        """
+        if self.kind == self.GATHER:
+            out: list = []
+            for values in branch_values:
+                out.extend(values)
+            return out
+        if self.kind == self.REDUCE:
+            combine = self.combine or _elementwise_add
+            return list(combine(branch_values))
+        if len(branch_values) != 1:
+            raise GraphError(
+                f"connection {self.name} ({self.kind}): cannot assemble "
+                f"{len(branch_values)} branches at one sink port"
+            )
+        return list(branch_values[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"Connection({self.name!r}, kind={self.kind}, "
+            f"branches={len(self.edges)})"
+        )
+
+
 class DataflowGraph:
     """A coarse-grain dataflow graph (SDF or bounded-dynamic).
 
@@ -341,6 +566,7 @@ class DataflowGraph:
         self.name = name
         self._actors: Dict[str, Actor] = {}
         self._edges: List[Edge] = []
+        self._connections: List[Connection] = []
         self._interface_ports: set = set()
 
     # -- construction -----------------------------------------------------
@@ -387,7 +613,175 @@ class DataflowGraph:
             )
         edge = Edge(src, snk, delay=delay, name=name)
         self._edges.append(edge)
+        self._connections.append(
+            Connection(Connection.FIFO, [edge], name=edge.name)
+        )
         return edge
+
+    # -- collective construction ------------------------------------------
+
+    def _resolve_port(
+        self, ref: Union[Port, Tuple[Actor, str], str]
+    ) -> Port:
+        if isinstance(ref, Port):
+            port = ref
+        elif isinstance(ref, str):
+            actor_name, _, port_name = ref.rpartition(".")
+            if not actor_name or actor_name not in self._actors:
+                raise GraphError(
+                    f"port reference {ref!r} must be 'actor.port' with an "
+                    f"actor of this graph"
+                )
+            port = self._actors[actor_name].port(port_name)
+        else:
+            port = ref[0].port(ref[1])
+        if port.actor is None or port.actor.name not in self._actors:
+            raise GraphError(
+                f"port {port.qualified_name} does not belong to this graph"
+            )
+        return port
+
+    def _require_free_collective_port(self, port: Port) -> None:
+        """A port joins at most one connection (checked across all edges)."""
+        for edge in self._edges:
+            if edge.source is port or edge.sink is port:
+                raise GraphError(
+                    f"port {port.qualified_name} is already connected "
+                    f"(a port belongs to at most one connection)"
+                )
+
+    def _add_collective(
+        self,
+        kind: str,
+        sources: List[Port],
+        sinks: List[Port],
+        delays: Optional[List[int]],
+        name: Optional[str],
+        chunks: Optional[List[int]] = None,
+        combine: Optional[Callable[[List[list]], list]] = None,
+    ) -> Connection:
+        branches = max(len(sources), len(sinks))
+        if branches < 1:
+            raise GraphError(f"{kind} connection needs at least one branch")
+        # Orientation follows the kind, not the branch count — a
+        # single-branch gather still fans *in* (its shared port is the
+        # sink, and the chunk belongs to the one producer).
+        fan_in = kind in (Connection.GATHER, Connection.REDUCE)
+        pairs = (
+            [(src, sinks[0]) for src in sources]
+            if fan_in
+            else [(sources[0], snk) for snk in sinks]
+        )
+        for port in {id(p): p for p in sources + sinks}.values():
+            if port.is_dynamic:
+                raise GraphError(
+                    f"{kind} connection: port {port.qualified_name} has a "
+                    f"dynamic rate; collective connections require static "
+                    f"rates (route dynamic traffic over FIFO connections)"
+                )
+            self._require_free_collective_port(port)
+        shared = sinks[0] if fan_in else sources[0]
+        fanned = sources if fan_in else sinks
+        if len({id(p) for p in fanned}) != len(fanned):
+            raise GraphError(
+                f"{kind} connection {name or ''}: duplicate branch port"
+            )
+        if chunks is None and kind in (Connection.SCATTER, Connection.GATHER):
+            rate = shared.rate
+            if rate % branches:
+                raise GraphError(
+                    f"{kind} connection: rate {rate} of "
+                    f"{shared.qualified_name} does not split evenly over "
+                    f"{branches} branches; pass explicit chunks"
+                )
+            chunks = [rate // branches] * branches
+        if chunks is not None and sum(chunks) != shared.rate:
+            raise GraphError(
+                f"{kind} connection: chunks {list(chunks)} sum to "
+                f"{sum(chunks)}, expected the rate {shared.rate} of "
+                f"{shared.qualified_name}"
+            )
+        if delays is None:
+            delays = [0] * branches
+        if len(delays) != branches:
+            raise GraphError(
+                f"{kind} connection: {len(delays)} delays for "
+                f"{branches} branches"
+            )
+        edges = [
+            Edge(
+                src,
+                snk,
+                delay=delay,
+                name=f"{name}[{index}]" if name else None,
+            )
+            for index, ((src, snk), delay) in enumerate(zip(pairs, delays))
+        ]
+        connection = Connection(
+            kind, edges, name=name, chunks=chunks, combine=combine
+        )
+        self._edges.extend(edges)
+        self._connections.append(connection)
+        return connection
+
+    def add_broadcast(
+        self,
+        source: Union[Port, Tuple[Actor, str]],
+        sinks: List[Union[Port, Tuple[Actor, str]]],
+        delays: Optional[List[int]] = None,
+        name: Optional[str] = None,
+    ) -> Connection:
+        """One producer port fanned out to every sink as a full copy."""
+        src = self._resolve_port(source)
+        snks = [self._resolve_port(s) for s in sinks]
+        return self._add_collective(
+            Connection.BROADCAST, [src], snks, delays, name
+        )
+
+    def add_scatter(
+        self,
+        source: Union[Port, Tuple[Actor, str]],
+        sinks: List[Union[Port, Tuple[Actor, str]]],
+        chunks: Optional[List[int]] = None,
+        delays: Optional[List[int]] = None,
+        name: Optional[str] = None,
+    ) -> Connection:
+        """One producer port split into per-branch chunks (branch order)."""
+        src = self._resolve_port(source)
+        snks = [self._resolve_port(s) for s in sinks]
+        return self._add_collective(
+            Connection.SCATTER, [src], snks, delays, name, chunks=chunks
+        )
+
+    def add_gather(
+        self,
+        sources: List[Union[Port, Tuple[Actor, str]]],
+        sink: Union[Port, Tuple[Actor, str]],
+        chunks: Optional[List[int]] = None,
+        delays: Optional[List[int]] = None,
+        name: Optional[str] = None,
+    ) -> Connection:
+        """k producer ports concatenated (branch order) into one sink."""
+        srcs = [self._resolve_port(s) for s in sources]
+        snk = self._resolve_port(sink)
+        return self._add_collective(
+            Connection.GATHER, srcs, [snk], delays, name, chunks=chunks
+        )
+
+    def add_reduce(
+        self,
+        sources: List[Union[Port, Tuple[Actor, str]]],
+        sink: Union[Port, Tuple[Actor, str]],
+        combine: Optional[Callable[[List[list]], list]] = None,
+        delays: Optional[List[int]] = None,
+        name: Optional[str] = None,
+    ) -> Connection:
+        """k producer ports combined element-wise into one sink port."""
+        srcs = [self._resolve_port(s) for s in sources]
+        snk = self._resolve_port(sink)
+        return self._add_collective(
+            Connection.REDUCE, srcs, [snk], delays, name, combine=combine
+        )
 
     def mark_interface(self, port: Port) -> None:
         """Declare ``port`` as an external interface (may stay unconnected)."""
@@ -406,6 +800,19 @@ class DataflowGraph:
     @property
     def edges(self) -> Tuple[Edge, ...]:
         return tuple(self._edges)
+
+    @property
+    def connections(self) -> Tuple[Connection, ...]:
+        return tuple(self._connections)
+
+    @property
+    def collective_connections(self) -> Tuple[Connection, ...]:
+        """Connections with true fan-out/fan-in (degenerates excluded)."""
+        return tuple(c for c in self._connections if c.is_collective)
+
+    @property
+    def has_collectives(self) -> bool:
+        return any(c.is_collective for c in self._connections)
 
     def get_actor(self, name: str) -> Actor:
         try:
@@ -467,6 +874,30 @@ class DataflowGraph:
                     f"edge {edge.name}: producer token size "
                     f"{edge.source.token_bytes}B != consumer token size "
                     f"{edge.sink.token_bytes}B"
+                )
+        for connection in self._connections:
+            if connection.kind == Connection.SCATTER:
+                total = sum(e.prod_rate for e in connection.edges)
+                rate = connection.edges[0].source.rate
+                if total != rate:
+                    raise GraphError(
+                        f"scatter {connection.name}: branch chunks sum to "
+                        f"{total}, source rate is {rate}"
+                    )
+            elif connection.kind == Connection.GATHER:
+                total = sum(e.cons_rate for e in connection.edges)
+                rate = connection.edges[0].sink.rate
+                if total != rate:
+                    raise GraphError(
+                        f"gather {connection.name}: branch chunks sum to "
+                        f"{total}, sink rate is {rate}"
+                    )
+            if connection.kind != Connection.FIFO and any(
+                e.is_dynamic for e in connection.edges
+            ):
+                raise GraphError(
+                    f"{connection.kind} connection {connection.name} has a "
+                    f"dynamic-rate branch; collectives must be static"
                 )
         for actor in self._actors.values():
             for port in actor.ports:
@@ -544,15 +975,26 @@ class DataflowGraph:
                 new_actor.add_port(
                     Port(port.name, port.direction, port.rate, port.token_bytes)
                 )
+        edge_map: Dict[int, Edge] = {}
         for edge in self._edges:
-            new_edge = clone.connect(
-                (clone.get_actor(edge.src_actor.name), edge.source.name),
-                (clone.get_actor(edge.snk_actor.name), edge.sink.name),
-                delay=edge.delay,
-                name=edge.name,
-            )
+            src = clone.get_actor(edge.src_actor.name).port(edge.source.name)
+            snk = clone.get_actor(edge.snk_actor.name).port(edge.sink.name)
+            new_edge = Edge(src, snk, delay=edge.delay, name=edge.name)
+            clone._edges.append(new_edge)
+            edge_map[id(edge)] = new_edge
             if edge.initial_tokens is not None:
                 new_edge.set_initial_tokens(edge.initial_tokens)
+        for connection in self._connections:
+            members = [edge_map[id(e)] for e in connection.edges]
+            clone._connections.append(
+                Connection(
+                    connection.kind,
+                    members,
+                    name=connection.name,
+                    chunks=connection.chunks,
+                    combine=connection.combine,
+                )
+            )
         for actor in self._actors.values():
             for port in actor.ports:
                 if id(port) in self._interface_ports:
@@ -568,7 +1010,9 @@ class DataflowGraph:
             shape = "box" if not actor.is_dynamic else "octagon"
             lines.append(f'  "{actor.name}" [shape={shape}];')
         for edge in self._edges:
-            label = f"{edge.source.rate!r}->{edge.sink.rate!r}"
+            label = f"{edge.prod_rate!r}->{edge.cons_rate!r}"
+            if edge.connection is not None and edge.connection.is_collective:
+                label = f"{edge.connection.kind}[{edge.branch_index}] {label}"
             if edge.delay:
                 label += f" d={edge.delay}"
             lines.append(

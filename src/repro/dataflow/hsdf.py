@@ -67,8 +67,8 @@ def hsdf_expand(graph: DataflowGraph, name: str = "") -> DataflowGraph:
         return owner.add_input(f"i{count}")
 
     for edge in graph.edges:
-        p = edge.source.rate
-        c = edge.sink.rate
+        p = edge.prod_rate
+        c = edge.cons_rate
         d = edge.delay
         q_src = reps[edge.src_actor.name]
         q_snk = reps[edge.snk_actor.name]

@@ -79,14 +79,14 @@ class FlatSchedule:
         tokens = {e.edge_id: e.delay for e in self.graph.edges}
         for actor in self.firings:
             for edge in self.graph.in_edges(actor):
-                tokens[edge.edge_id] -= edge.sink.rate
+                tokens[edge.edge_id] -= edge.cons_rate
                 if tokens[edge.edge_id] < 0:
                     raise GraphError(
                         f"schedule underflows edge {edge.name} at a firing "
                         f"of {actor.name!r}"
                     )
             for edge in self.graph.out_edges(actor):
-                tokens[edge.edge_id] += edge.source.rate
+                tokens[edge.edge_id] += edge.prod_rate
 
     def profile(self) -> ScheduleProfile:
         """Makespan (sequential cycles) and per-edge buffer high-water marks."""
@@ -100,9 +100,9 @@ class FlatSchedule:
             index[actor.name] = k + 1
             cycles += actor.execution_cycles(k)
             for edge in self.graph.in_edges(actor):
-                tokens[edge.edge_id] -= edge.sink.rate
+                tokens[edge.edge_id] -= edge.cons_rate
             for edge in self.graph.out_edges(actor):
-                tokens[edge.edge_id] += edge.source.rate
+                tokens[edge.edge_id] += edge.prod_rate
                 high[edge.edge_id] = max(high[edge.edge_id], tokens[edge.edge_id])
         return ScheduleProfile(
             makespan_cycles=cycles,

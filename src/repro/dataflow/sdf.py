@@ -79,14 +79,14 @@ def repetitions_vector(graph: DataflowGraph) -> Dict[str, int]:
     }
     for edge in graph.edges:
         if edge.is_selfloop:
-            if edge.source.rate != edge.sink.rate:
+            if edge.prod_rate != edge.cons_rate:
                 raise InconsistentGraphError(
                     f"self-loop {edge.name}: production rate "
-                    f"{edge.source.rate} != consumption rate {edge.sink.rate}"
+                    f"{edge.prod_rate} != consumption rate {edge.cons_rate}"
                 )
             continue
         # q[snk] / q[src] == prod / cons
-        factor = Fraction(edge.source.rate, edge.sink.rate)
+        factor = Fraction(edge.prod_rate, edge.cons_rate)
         adjacency[edge.src_actor.name].append((edge.snk_actor.name, factor))
         adjacency[edge.snk_actor.name].append((edge.src_actor.name, 1 / factor))
 
@@ -118,14 +118,14 @@ def repetitions_vector(graph: DataflowGraph) -> Dict[str, int]:
             reps[name] = int(ratio[name] * lcm_den / gcd_num)
 
     for edge in graph.edges:
-        produced = reps[edge.src_actor.name] * edge.source.rate
-        consumed = reps[edge.snk_actor.name] * edge.sink.rate
+        produced = reps[edge.src_actor.name] * edge.prod_rate
+        consumed = reps[edge.snk_actor.name] * edge.cons_rate
         if produced != consumed:
             raise InconsistentGraphError(
                 f"graph {graph.name!r} is sample-rate inconsistent at edge "
                 f"{edge.name}: {reps[edge.src_actor.name]} x "
-                f"{edge.source.rate} != {reps[edge.snk_actor.name]} x "
-                f"{edge.sink.rate}"
+                f"{edge.prod_rate} != {reps[edge.snk_actor.name]} x "
+                f"{edge.cons_rate}"
             )
     return reps
 
@@ -171,7 +171,7 @@ def build_pass(
         if remaining[actor.name] == 0:
             return False
         return all(
-            tokens[e.edge_id] >= e.sink.rate for e in graph.in_edges(actor)
+            tokens[e.edge_id] >= e.cons_rate for e in graph.in_edges(actor)
         )
 
     total = sum(reps.values())
@@ -181,9 +181,9 @@ def build_pass(
             if not fireable(actor):
                 continue
             for edge in graph.in_edges(actor):
-                tokens[edge.edge_id] -= edge.sink.rate
+                tokens[edge.edge_id] -= edge.cons_rate
             for edge in graph.out_edges(actor):
-                tokens[edge.edge_id] += edge.source.rate
+                tokens[edge.edge_id] += edge.prod_rate
             remaining[actor.name] -= 1
             schedule.append(actor)
             progressed = True

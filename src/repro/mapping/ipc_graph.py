@@ -76,7 +76,7 @@ def build_ipc_graph(schedule: SelfTimedSchedule, name: str = "") -> TimedGraph:
         snk_pe = schedule.pe_of_task(edge.snk_actor.name)
         if src_pe == snk_pe:
             continue
-        payload = edge.token_bytes * edge.source.max_rate
+        payload = edge.token_bytes * edge.max_prod_rate
         ipc.add_edge(
             TimedEdge(
                 src=edge.src_actor.name,

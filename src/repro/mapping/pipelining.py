@@ -86,7 +86,7 @@ def insert_pipeline_delays(
         if new_edge.name not in names:
             continue
         tokens_per_iteration = (
-            orig_edge.sink.rate * reps[orig_edge.snk_actor.name]
+            orig_edge.cons_rate * reps[orig_edge.snk_actor.name]
         )
         extra = depth * tokens_per_iteration
         existing = (

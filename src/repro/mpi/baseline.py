@@ -237,6 +237,105 @@ class _MpiSendTask:
         sim.at(arrival, deliver)
 
 
+class _MpiCollectiveSendTask:
+    """MPI_Bcast / MPI_Scatter: one library call serving every branch.
+
+    The library still knows nothing about the dataflow graph, but the
+    collective API lets it amortize the *software* send path: one
+    argument check plus one bounce-buffer copy of the root payload,
+    then one eager envelope+payload injection per destination.  On the
+    wire nothing is shared — a point-to-point MPI fabric still carries
+    one full message per rank, which is exactly what the SPI
+    shared-payload transport improves on.  Collectives are always
+    eager: the root cannot block on a rendezvous handshake with every
+    rank inside one call.
+    """
+
+    def __init__(
+        self,
+        actor: Actor,
+        branches: List[tuple],
+        local_branches: List[LocalFifo],
+        in_fifo: LocalFifo,
+        sim: Simulator,
+        interconnect: Interconnect,
+        config: MpiConfig,
+    ) -> None:
+        self.actor = actor
+        self.name = actor.name.replace("spi_send", "mpi_coll")
+        #: (member IPC edge, _MpiChannel) per remote branch, branch order
+        self.branches = sorted(
+            branches, key=lambda item: item[0].branch_index
+        )
+        self.local_branches = sorted(
+            local_branches, key=lambda fifo: fifo.edge.branch_index
+        )
+        self.in_fifo = in_fifo
+        self.sim = sim
+        self.interconnect = interconnect
+        self.config = config
+        self.rate = actor.port("in").rate
+        self._staged: Optional[List] = None
+
+    def ready(self, now: int) -> bool:
+        return len(self.in_fifo) >= self.rate
+
+    def blocked_reason(self, now: int) -> Optional[str]:
+        if len(self.in_fifo) < self.rate:
+            return (
+                f"starved on {self.in_fifo.edge.name!r} "
+                f"(has {len(self.in_fifo)}, needs {self.rate})"
+            )
+        return None
+
+    def wait_on(self, now: int) -> List[Waitset]:
+        if len(self.in_fifo) < self.rate:
+            return [self.in_fifo.waitset]
+        return []
+
+    def _copy_cycles(self, nbytes: int) -> int:
+        words = (nbytes + self.config.word_bytes - 1) // self.config.word_bytes
+        return words * self.config.copy_cycles_per_word
+
+    def start(self, now: int) -> Optional[int]:
+        tokens = self.in_fifo.pop(self.rate)
+        self._staged = tokens
+        nbytes = payload_nbytes(tokens, self.in_fifo.edge.token_bytes)
+        return self.config.send_sw_cycles + self._copy_cycles(nbytes)
+
+    def finish(self, now: int) -> None:
+        tokens = self._staged or []
+        self._staged = None
+        for fifo in self.local_branches:
+            connection = fifo.edge.connection
+            part = (
+                connection.produced_tokens(fifo.edge, tokens)
+                if connection is not None
+                else list(tokens)
+            )
+            fifo.push(part)
+        sim = self.sim
+        envelope = self.config.envelope_bytes
+        for member, channel in self.branches:
+            connection = member.connection
+            part = (
+                connection.produced_tokens(member, tokens)
+                if connection is not None
+                else list(tokens)
+            )
+            nbytes = payload_nbytes(part, channel.token_bytes)
+            link = self.interconnect.link(channel.src_pe, channel.dst_pe)
+            _, arrival = link.reserve(now, envelope + nbytes)
+
+            def deliver(
+                ch=channel, payload=part, size=nbytes
+            ) -> None:
+                ch.deliver_data(payload, size, envelope)
+                sim.notify()
+
+            sim.at(arrival, deliver)
+
+
 class _MpiRecvTask:
     """MPI_Recv: matching + copy-out (eager) or CTS handshake (rendezvous)."""
 
@@ -365,10 +464,20 @@ class MpiSystem:
             word_bytes=config.word_bytes,
         )
         schedule = build_selftimed_schedule(insertion.graph, insertion.partition)
+        collective_origins = {
+            origin
+            for group in insertion.collective_sends.values()
+            for origin in group.remote_origins
+        }
         modes: Dict[str, bool] = {}
         for origin_name, (ipc_edge, _, _) in insertion.channels.items():
-            payload = ipc_edge.source.rate * ipc_edge.token_bytes
-            modes[origin_name] = payload > config.eager_threshold_bytes
+            payload = ipc_edge.prod_rate * ipc_edge.token_bytes
+            # Collective branches are always eager: the root of an
+            # MPI_Bcast cannot rendezvous with every rank in one call.
+            modes[origin_name] = (
+                payload > config.eager_threshold_bytes
+                and origin_name not in collective_origins
+            )
         return cls(
             source_graph=graph,
             partition=partition,
@@ -408,13 +517,19 @@ class MpiSystem:
             for edge in graph.edges
             if edge.edge_id not in ipc_ids
         }
+        collective_groups = self.insertion.collective_sends
         send_map = {
             pair.send: name
             for name, (_, pair, _) in self.insertion.channels.items()
+            if pair.send not in collective_groups
         }
         recv_map = {
             pair.recv: name
             for name, (_, pair, _) in self.insertion.channels.items()
+        }
+        channel_by_ipc_edge = {
+            ipc_edge.edge_id: channels[name]
+            for name, (ipc_edge, _, _) in self.insertion.channels.items()
         }
 
         tasks: Dict[str, object] = {}
@@ -422,7 +537,26 @@ class MpiSystem:
         def task_for(actor: Actor):
             if actor.name in tasks:
                 return tasks[actor.name]
-            if actor.name in send_map:
+            if actor.name in collective_groups:
+                branches = []
+                local_branches = []
+                for member in graph.out_edges(actor):
+                    if member.edge_id in fifos:
+                        local_branches.append(fifos[member.edge_id])
+                    else:
+                        branches.append(
+                            (member, channel_by_ipc_edge[member.edge_id])
+                        )
+                task = _MpiCollectiveSendTask(
+                    actor,
+                    branches,
+                    local_branches,
+                    fifos[graph.in_edges(actor)[0].edge_id],
+                    sim,
+                    interconnect,
+                    self.config,
+                )
+            elif actor.name in send_map:
                 task = _MpiSendTask(
                     actor,
                     channels[send_map[actor.name]],
@@ -441,16 +575,20 @@ class MpiSystem:
                     self.config,
                 )
             else:
-                inputs = {
-                    e.sink.name: fifos[e.edge_id]
-                    for e in graph.in_edges(actor)
-                    if e.edge_id in fifos
-                }
-                outputs = {
-                    e.source.name: fifos[e.edge_id]
-                    for e in graph.out_edges(actor)
-                    if e.edge_id in fifos
-                }
+                # A port may own several member fifos (gather/reduce
+                # sinks, all-local broadcast sources) — accumulate lists.
+                inputs: Dict[str, List[LocalFifo]] = {}
+                for e in graph.in_edges(actor):
+                    if e.edge_id in fifos:
+                        inputs.setdefault(e.sink.name, []).append(
+                            fifos[e.edge_id]
+                        )
+                outputs: Dict[str, List[LocalFifo]] = {}
+                for e in graph.out_edges(actor):
+                    if e.edge_id in fifos:
+                        outputs.setdefault(e.source.name, []).append(
+                            fifos[e.edge_id]
+                        )
                 task = ComputationTask(actor, inputs, outputs)
             tasks[actor.name] = task
             return task

@@ -38,6 +38,9 @@ Metrics JSON schema (``repro.metrics/1``)::
                     "full_stall_cycles", "empty_stall_cycles"}],
       "transport": {"type", "messages", "bytes",
                     "fast_path_deliveries",
+                    "collective_messages",    # wire transfers of collectives
+                    "fan_out_deliveries",     # per-consumer deliveries
+                    "wire_bytes_saved",       # logical - wire (shared payload)
                     "channels": [{"channel", "messages", "bytes",
                                   "queueing_cycles", "contention_cycles"}]},
       "sync_pools": [{"name", "messages_sent", "high_water"}],
@@ -144,6 +147,9 @@ def build_metrics_document(
         "fast_path_deliveries": getattr(
             transport, "fast_path_deliveries", 0
         ),
+        "collective_messages": getattr(transport, "collective_messages", 0),
+        "fan_out_deliveries": getattr(transport, "fan_out_deliveries", 0),
+        "wire_bytes_saved": getattr(transport, "wire_bytes_saved", 0),
         "channels": [
             {
                 "channel": str(key),
@@ -283,6 +289,30 @@ def validate_metrics(document: Dict[str, object]) -> None:
         raise MetricsValidationError(
             f"simulator: extrapolated_iterations {extrapolated} must be "
             f"< run iterations {iterations} (the tail always simulates)"
+        )
+    transport_doc = document["transport"]
+    collective = transport_doc.get("collective_messages", 0)
+    fan_out = transport_doc.get("fan_out_deliveries", 0)
+    saved = transport_doc.get("wire_bytes_saved", 0)
+    if collective == 0 and (fan_out or saved):
+        raise MetricsValidationError(
+            f"transport: fan_out_deliveries {fan_out} / wire_bytes_saved "
+            f"{saved} without any collective_messages"
+        )
+    if fan_out < collective:
+        raise MetricsValidationError(
+            f"transport: fan_out_deliveries {fan_out} below "
+            f"collective_messages {collective} (every transfer delivers "
+            f"to at least one consumer)"
+        )
+    logical_bytes = sum(
+        channel["data_bytes"] + channel["header_bytes"]
+        for channel in document["channels"]
+    )
+    if saved > logical_bytes:
+        raise MetricsValidationError(
+            f"transport: wire_bytes_saved {saved} exceeds the logical "
+            f"channel traffic {logical_bytes}B it is saved from"
         )
 
 

@@ -153,22 +153,39 @@ class CompiledFiring:
         outputs: Dict[str, object],
         stats: Optional[CompiledStats] = None,
     ) -> None:
+        from repro.spi.actors import normalize_port_fifos
+
         self.actor = actor
         self.name = f"fire:{actor.name}"
-        self.inputs = inputs
-        self.outputs = outputs
+        self.inputs = normalize_port_fifos(inputs)
+        self.outputs = normalize_port_fifos(outputs)
         self.firing_index = 0
-        #: (port name, fifo, rate) per connected input, in port order
+        #: (port name, ((fifo, rate), ...) branches, connection) per
+        #: connected input, in port order; branches in branch_index order
         self._needs = tuple(
-            (port.name, inputs[port.name], port.rate)
+            (
+                port.name,
+                tuple(
+                    (fifo, fifo.edge.cons_rate)
+                    for fifo in self.inputs[port.name]
+                ),
+                self.inputs[port.name][0].edge.connection,
+            )
             for port in actor.input_ports
-            if port.name in inputs
+            if port.name in self.inputs
         )
-        #: (port name, fifo) per connected output, in port order
+        #: (port name, ((fifo, span), ...)) per connected output, in port
+        #: order; span is a scatter branch's (start, stop) slice or None
         self._emits = tuple(
-            (port.name, outputs[port.name])
+            (
+                port.name,
+                tuple(
+                    (fifo, self._branch_span(fifo.edge))
+                    for fifo in self.outputs[port.name]
+                ),
+            )
             for port in actor.output_ports
-            if port.name in outputs
+            if port.name in self.outputs
         )
         cycles = actor.cycles
         self._static_cycles = (
@@ -179,16 +196,25 @@ class CompiledFiring:
         if stats is not None:
             stats.script_tasks += 1
 
+    @staticmethod
+    def _branch_span(edge) -> Optional[Tuple[int, int]]:
+        connection = edge.connection
+        if connection is not None and connection.kind == "scatter":
+            return connection.branch_span(edge.branch_index)
+        return None
+
     def ready(self, now: int) -> bool:
-        for _, fifo, rate in self._needs:
-            if len(fifo.tokens) < rate:
-                return False
+        for _, branches, _ in self._needs:
+            for fifo, rate in branches:
+                if len(fifo.tokens) < rate:
+                    return False
         return True
 
     def blocked_reason(self, now: int) -> Optional[str]:
         starved = [
             f"{fifo.edge.name!r} (has {len(fifo.tokens)}, needs {rate})"
-            for _, fifo, rate in self._needs
+            for _, branches, _ in self._needs
+            for fifo, rate in branches
             if len(fifo.tokens) < rate
         ]
         if starved:
@@ -198,14 +224,23 @@ class CompiledFiring:
     def wait_on(self, now: int) -> List:
         return [
             fifo.waitset
-            for _, fifo, rate in self._needs
+            for _, branches, _ in self._needs
+            for fifo, rate in branches
             if len(fifo.tokens) < rate
         ]
 
     def start(self, now: int) -> int:
         consumed: Dict[str, List] = {}
-        for port_name, fifo, rate in self._needs:
-            consumed[port_name] = fifo.pop(rate)
+        for port_name, branches, connection in self._needs:
+            if len(branches) == 1 and (
+                connection is None or connection.kind != "reduce"
+            ):
+                fifo, rate = branches[0]
+                consumed[port_name] = fifo.pop(rate)
+            else:
+                consumed[port_name] = connection.assemble(
+                    [fifo.pop(rate) for fifo, rate in branches]
+                )
         self._staged = consumed
         if self._stats is not None:
             self._stats.compiled_firings += 1
@@ -216,7 +251,12 @@ class CompiledFiring:
     def finish(self, now: int) -> None:
         assert self._staged is not None
         produced = self.actor.fire(self.firing_index, self._staged)
-        for port_name, fifo in self._emits:
-            fifo.push(list(produced[port_name]))
+        for port_name, branches in self._emits:
+            values = produced[port_name]
+            for fifo, span in branches:
+                if span is None:
+                    fifo.push(list(values))
+                else:
+                    fifo.push(list(values[span[0]:span[1]]))
         self._staged = None
         self.firing_index += 1

@@ -75,8 +75,22 @@ class _TransportStats:
         self.bytes = 0
         self.per_channel: Dict[Hashable, ChannelTraffic] = {}
         self.observer = observer
+        #: wire transfers that served a collective connection
+        self.collective_messages = 0
+        #: branch deliveries fanned out of those collective transfers
+        self.fan_out_deliveries = 0
+        #: bytes avoided vs. sending every branch independently
+        self.wire_bytes_saved = 0
         #: woken on every committed delivery (targeted-wakeup kernel)
         self.waitset = Waitset(f"transport:{type(self).__name__}")
+
+    def _account_collective(
+        self, transfers: int, deliveries: int, logical_bytes: int,
+        wire_bytes: int,
+    ) -> None:
+        self.collective_messages += transfers
+        self.fan_out_deliveries += deliveries
+        self.wire_bytes_saved += logical_bytes - wire_bytes
 
     def _schedule_delivery(
         self,
@@ -178,6 +192,58 @@ class PointToPointTransport(_TransportStats):
             return
         self._schedule_delivery(self.sim, arrival, deliver, (kind, channel_key))
 
+    def send_collective(
+        self,
+        group_key: Hashable,
+        src_pe: int,
+        parts: Sequence[Tuple[Hashable, int, int, Callable[[], None]]],
+        now: int,
+        shared_payload: bool = True,
+    ) -> None:
+        """One collective firing: one wire transfer per destination PE.
+
+        ``parts`` is ``[(channel_key, dst_pe, nbytes, deliver), ...]`` in
+        branch order.  Branches bound for the same destination share one
+        link transfer — the full payload once for a broadcast
+        (``shared_payload``), the concatenated chunks for a scatter — and
+        the avoided bytes are credited to ``wire_bytes_saved``.
+        """
+        by_dst: Dict[int, list] = {}
+        for part in parts:
+            by_dst.setdefault(part[1], []).append(part)
+        for dst_pe, group in by_dst.items():
+            logical = sum(nbytes for _, _, nbytes, _ in group)
+            wire_nbytes = group[0][2] if shared_payload else logical
+            link = self.interconnect.link(src_pe, dst_pe)
+            start, arrival = link.reserve(now, wire_nbytes)
+            self._record(
+                f"{group_key}->PE{dst_pe}",
+                src_pe,
+                dst_pe,
+                wire_nbytes,
+                requested=now,
+                started=start,
+                arrived=arrival,
+                contention=start - now,
+                kind="data",
+            )
+            self._account_collective(1, len(group), logical, wire_nbytes)
+            delivers = [deliver for _, _, _, deliver in group]
+            if arrival <= self.sim.now:
+                self.fast_path_deliveries += 1
+                for deliver in delivers:
+                    deliver()
+                self.waitset.wake()
+                continue
+
+            def dispatch_all(delivers=delivers) -> None:
+                for deliver in delivers:
+                    deliver()
+
+            self._schedule_delivery(
+                self.sim, arrival, dispatch_all, ("data", group_key)
+            )
+
     def capture_state(self, now: int) -> tuple:
         """Steady-state hash contribution (links are captured separately)."""
         return ()
@@ -233,6 +299,53 @@ class SharedBusTransport(_TransportStats):
         )
         self._schedule_delivery(self.sim, arrival, deliver, (kind, channel_key))
 
+    def send_collective(
+        self,
+        group_key: Hashable,
+        src_pe: int,
+        parts: Sequence[Tuple[Hashable, int, int, Callable[[], None]]],
+        now: int,
+        shared_payload: bool = True,
+    ) -> None:
+        """One collective firing: one bus transaction for the whole fan-out.
+
+        A bus is a natural broadcast medium — every consumer snoops the
+        same transaction, so the payload crosses the wire once (the
+        largest branch for a shared payload, the chunk total for a
+        scatter) regardless of how many PEs listen.
+        """
+        logical = sum(nbytes for _, _, nbytes, _ in parts)
+        wire_nbytes = (
+            max(nbytes for _, _, nbytes, _ in parts)
+            if shared_payload
+            else logical
+        )
+        contention = max(0, self.busy_until - now)
+        start = max(now, self.busy_until) + self.arbitration_cycles
+        arrival = start + self.spec.transfer_cycles(wire_nbytes)
+        self.busy_until = arrival
+        self._record(
+            str(group_key),
+            src_pe,
+            parts[0][1],
+            wire_nbytes,
+            requested=now,
+            started=start,
+            arrived=arrival,
+            contention=contention,
+            kind="data",
+        )
+        self._account_collective(1, len(parts), logical, wire_nbytes)
+        delivers = [deliver for _, _, _, deliver in parts]
+
+        def dispatch_all() -> None:
+            for deliver in delivers:
+                deliver()
+
+        self._schedule_delivery(
+            self.sim, arrival, dispatch_all, ("data", group_key)
+        )
+
     def capture_state(self, now: int) -> tuple:
         """Steady-state hash contribution: remaining bus occupancy."""
         return (max(0, self.busy_until - now),)
@@ -283,6 +396,43 @@ class OrderedBusTransport(_TransportStats):
             )
         self._pending.setdefault(channel_key, deque()).append(
             (nbytes, deliver, now, src_pe, dst_pe, kind)
+        )
+        self._drain(now)
+
+    def send_collective(
+        self,
+        group_key: Hashable,
+        src_pe: int,
+        parts: Sequence[Tuple[Hashable, int, int, Callable[[], None]]],
+        now: int,
+        shared_payload: bool = True,
+    ) -> None:
+        """One collective firing: one compile-time transaction slot.
+
+        The whole fan-out occupies a single slot of the ordered sequence
+        (the slot is keyed by the collective group, not by a branch), so
+        the grant schedule stays one entry per send firing.
+        """
+        if group_key not in self.order:
+            raise ValueError(
+                f"collective group {group_key!r} is not in the "
+                f"compile-time transaction order"
+            )
+        logical = sum(nbytes for _, _, nbytes, _ in parts)
+        wire_nbytes = (
+            max(nbytes for _, _, nbytes, _ in parts)
+            if shared_payload
+            else logical
+        )
+        self._account_collective(1, len(parts), logical, wire_nbytes)
+        delivers = [deliver for _, _, _, deliver in parts]
+
+        def dispatch_all() -> None:
+            for deliver in delivers:
+                deliver()
+
+        self._pending.setdefault(group_key, deque()).append(
+            (wire_nbytes, dispatch_all, now, src_pe, parts[0][1], "data")
         )
         self._drain(now)
 

@@ -119,9 +119,28 @@ def graph_fingerprint(graph) -> Optional[str]:
         ),
         key=lambda e: (e["src"], e["snk"], e["delay"]),
     )
-    payload = json.dumps(
-        {"actors": actors, "edges": edges}, sort_keys=True, separators=(",", ":")
-    )
+    content = {"actors": actors, "edges": edges}
+    # Collective connections change rate overrides, lowering, and the
+    # B(e) accounting, so they must key the cache — but pure
+    # point-to-point graphs keep their pre-collective fingerprints
+    # (stable committed benchmark baselines).
+    collectives = [
+        {
+            "kind": conn.kind,
+            "members": [
+                {
+                    "src": edge.source.qualified_name,
+                    "snk": edge.sink.qualified_name,
+                }
+                for edge in conn.edges
+            ],
+            "chunks": list(conn.chunks) if conn.chunks else None,
+        }
+        for conn in getattr(graph, "collective_connections", ())
+    ]
+    if collectives:
+        content["collectives"] = collectives
+    payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
 
 

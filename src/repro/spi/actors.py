@@ -27,9 +27,12 @@ __all__ = [
     "ComputationTask",
     "SpiInitTask",
     "SpiSendTask",
+    "SpiCollectiveSendTask",
     "SpiReceiveTask",
     "SyncTokenPool",
     "SyncedTask",
+    "normalize_port_fifos",
+    "assemble_port_tokens",
     "payload_nbytes",
     "INIT_CYCLES",
 ]
@@ -81,42 +84,76 @@ class LocalFifo:
         return [self.tokens.popleft() for _ in range(count)]
 
 
+def normalize_port_fifos(fifos: Dict[str, object]) -> Dict[str, List[LocalFifo]]:
+    """Normalise ``port name -> fifo-or-list-of-fifos`` to branch lists.
+
+    A gather/reduce sink port (or broadcast/scatter source port) owns one
+    :class:`LocalFifo` per member edge; branch lists are kept in
+    ``Edge.branch_index`` order so assembly and slicing are deterministic.
+    """
+    normalized: Dict[str, List[LocalFifo]] = {}
+    for name, value in fifos.items():
+        branch = list(value) if isinstance(value, (list, tuple)) else [value]
+        branch.sort(key=lambda f: f.edge.branch_index)
+        normalized[name] = branch
+    return normalized
+
+
+def assemble_port_tokens(port_name: str, popped: List[tuple]) -> List:
+    """Combine per-branch pops ``[(edge, values), ...]`` for one input port."""
+    if len(popped) == 1 and (
+        popped[0][0].connection is None
+        or popped[0][0].connection.kind != "reduce"
+    ):
+        return popped[0][1]
+    connection = popped[0][0].connection
+    if connection is None:
+        raise RuntimeError(
+            f"port {port_name!r} has {len(popped)} in-edges but no "
+            f"owning connection"
+        )
+    return connection.assemble([values for _, values in popped])
+
+
 class ComputationTask:
     """One firing of a dataflow computation actor on its PE.
 
-    Inputs and outputs are :class:`LocalFifo` objects: SPI insertion
-    guarantees that computation actors only ever touch same-PE edges.
+    Inputs and outputs map port names to :class:`LocalFifo` objects (or
+    branch-ordered lists of them, for ports shared by a collective
+    connection): SPI insertion guarantees that computation actors only
+    ever touch same-PE edges.
     """
 
     def __init__(
         self,
         actor: Actor,
-        inputs: Dict[str, LocalFifo],
-        outputs: Dict[str, LocalFifo],
+        inputs: Dict[str, object],
+        outputs: Dict[str, object],
     ) -> None:
         self.actor = actor
         self.name = f"fire:{actor.name}"
-        self.inputs = inputs
-        self.outputs = outputs
+        self.inputs = normalize_port_fifos(inputs)
+        self.outputs = normalize_port_fifos(outputs)
         self.firing_index = 0
         self._staged: Optional[Dict[str, List]] = None
 
     def ready(self, now: int) -> bool:
         return all(
-            len(self.inputs[port.name]) >= port.rate
-            for port in self.actor.input_ports
-            if port.name in self.inputs
+            len(fifo) >= fifo.edge.cons_rate
+            for branch in self.inputs.values()
+            for fifo in branch
         )
 
     def blocked_reason(self, now: int) -> Optional[str]:
         """Why this firing cannot start (None when it can)."""
         starved = []
-        for port in self.actor.input_ports:
-            fifo = self.inputs.get(port.name)
-            if fifo is not None and len(fifo) < port.rate:
-                starved.append(
-                    f"{fifo.edge.name!r} (has {len(fifo)}, needs {port.rate})"
-                )
+        for branch in self.inputs.values():
+            for fifo in branch:
+                need = fifo.edge.cons_rate
+                if len(fifo) < need:
+                    starved.append(
+                        f"{fifo.edge.name!r} (has {len(fifo)}, needs {need})"
+                    )
         if starved:
             return "starved on " + ", ".join(starved)
         return None
@@ -124,27 +161,33 @@ class ComputationTask:
     def wait_on(self, now: int) -> List[Waitset]:
         """Waitsets of the resources currently blocking the guard."""
         return [
-            self.inputs[port.name].waitset
-            for port in self.actor.input_ports
-            if port.name in self.inputs
-            and len(self.inputs[port.name]) < port.rate
+            fifo.waitset
+            for branch in self.inputs.values()
+            for fifo in branch
+            if len(fifo) < fifo.edge.cons_rate
         ]
 
     def start(self, now: int) -> int:
         consumed: Dict[str, List] = {}
-        for port in self.actor.input_ports:
-            if port.name in self.inputs:
-                consumed[port.name] = self.inputs[port.name].pop(port.rate)
+        for port_name, branch in self.inputs.items():
+            popped = [
+                (fifo.edge, fifo.pop(fifo.edge.cons_rate)) for fifo in branch
+            ]
+            consumed[port_name] = assemble_port_tokens(port_name, popped)
         self._staged = consumed
         return self.actor.execution_cycles(self.firing_index, consumed)
 
     def finish(self, now: int) -> None:
         assert self._staged is not None
         produced = self.actor.fire(self.firing_index, self._staged)
-        for port in self.actor.output_ports:
-            if port.name in self.outputs:
-                values = produced[port.name]
-                self.outputs[port.name].push(list(values))
+        for port_name, branch in self.outputs.items():
+            values = produced[port_name]
+            for fifo in branch:
+                connection = fifo.edge.connection
+                if connection is not None:
+                    fifo.push(connection.produced_tokens(fifo.edge, values))
+                else:
+                    fifo.push(list(values))
         self._staged = None
         self.firing_index += 1
 
@@ -283,6 +326,170 @@ class SpiSendTask:
                 )
             self.sim.schedule_delivery(
                 arrival, deliver, ("data", self.channel.edge.name)
+            )
+
+
+class SpiCollectiveSendTask:
+    """One collective (broadcast/scatter) SPI_send serving k branches.
+
+    The task fires **once** per producer firing: it pops one message
+    worth of tokens, delivers local branches straight into their
+    consumer FIFOs and hands every remote branch to the transport as one
+    *collective* transfer — the transport shares the wire payload across
+    branches bound for the same destination (point-to-point) or across
+    the whole fan-out (bus), and accounts the avoided bytes in its
+    ``wire_bytes_saved`` counter.  Flow control stays per-branch: the
+    guard requires every remote branch's window to be open, and each
+    branch channel records its own delivery/ack traffic, so BBS/UBS
+    bounds and the resync solver keep working per channel instance.
+    """
+
+    def __init__(
+        self,
+        actor: Actor,
+        branches: List[tuple],
+        local_branches: List[LocalFifo],
+        in_fifo: LocalFifo,
+        sim: Simulator,
+        interconnect: Interconnect,
+        transport=None,
+        observer=None,
+        group_key: Optional[str] = None,
+    ) -> None:
+        #: branches: [(member_edge, SpiChannel)] in branch order
+        self.actor = actor
+        self.name = f"{actor.name}"
+        self.branches = sorted(
+            branches, key=lambda item: item[0].branch_index
+        )
+        self.local_branches = sorted(
+            local_branches, key=lambda fifo: fifo.edge.branch_index
+        )
+        self.in_fifo = in_fifo
+        self.sim = sim
+        self.interconnect = interconnect
+        self.transport = transport
+        self.observer = observer
+        self.rate = actor.port("in").rate
+        self.group_key = group_key or actor.name
+        connections = {
+            id(edge.connection): edge.connection
+            for edge, _ in self.branches
+        }
+        for fifo in self.local_branches:
+            connections[id(fifo.edge.connection)] = fifo.edge.connection
+        if len(connections) != 1:
+            raise ValueError(
+                f"collective send {actor.name}: branches belong to "
+                f"{len(connections)} connections, expected exactly 1"
+            )
+        self.connection = next(iter(connections.values()))
+        self.shared_payload = self.connection.kind == "broadcast"
+        self.firing_index = 0
+        self._staged: Optional[List] = None
+
+    def ready(self, now: int) -> bool:
+        return len(self.in_fifo) >= self.rate and all(
+            channel.flow.can_send() for _, channel in self.branches
+        )
+
+    def blocked_reason(self, now: int) -> Optional[str]:
+        if len(self.in_fifo) < self.rate:
+            return (
+                f"starved on {self.in_fifo.edge.name!r} "
+                f"(has {len(self.in_fifo)}, needs {self.rate})"
+            )
+        closed = [
+            channel.edge.name
+            for _, channel in self.branches
+            if not channel.flow.can_send()
+        ]
+        if closed:
+            return "waiting for ack credit on " + ", ".join(
+                repr(name) for name in closed
+            )
+        return None
+
+    def wait_on(self, now: int) -> List[Waitset]:
+        waitsets = []
+        if len(self.in_fifo) < self.rate:
+            waitsets.append(self.in_fifo.waitset)
+        waitsets.extend(
+            channel.space_waitset
+            for _, channel in self.branches
+            if not channel.flow.can_send()
+        )
+        return waitsets
+
+    def start(self, now: int) -> int:
+        tokens = self.in_fifo.pop(self.rate)
+        for _, channel in self.branches:
+            channel.on_send()
+        self._staged = tokens
+        return self.actor.execution_cycles(self.firing_index, {"in": tokens})
+
+    def finish(self, now: int) -> None:
+        assert self._staged is not None
+        tokens = self._staged
+        self._staged = None
+        self.firing_index += 1
+        connection = self.connection
+        for fifo in self.local_branches:
+            fifo.push(connection.produced_tokens(fifo.edge, tokens))
+        if not self.branches:
+            return
+        sim = self.sim
+        parts = []
+        for edge, channel in self.branches:
+            payload = connection.produced_tokens(edge, tokens)
+            nbytes = payload_nbytes(payload, channel.token_bytes)
+            message = make_data_message(
+                edge_id=channel.edge.edge_id,
+                payload=payload,
+                payload_bytes=nbytes,
+                dynamic=channel.dynamic,
+            )
+
+            def deliver(channel=channel, message=message) -> None:
+                channel.deliver(message)
+                sim.notify()
+
+            parts.append(
+                (
+                    channel.edge.name,
+                    channel.dst_pe,
+                    message.wire_bytes,
+                    deliver,
+                )
+            )
+        if self.transport is not None:
+            self.transport.send_collective(
+                group_key=self.group_key,
+                src_pe=self.branches[0][1].src_pe,
+                parts=parts,
+                now=now,
+                shared_payload=self.shared_payload,
+            )
+            return
+        # legacy link path: per-branch independent transfers
+        for (channel_key, dst_pe, nbytes, deliver), (_, channel) in zip(
+            parts, self.branches
+        ):
+            link = self.interconnect.link(channel.src_pe, dst_pe)
+            start, arrival = link.reserve(now, nbytes)
+            if self.observer is not None:
+                self.observer.message(
+                    channel=channel_key,
+                    kind="data",
+                    src_pe=channel.src_pe,
+                    dst_pe=dst_pe,
+                    nbytes=nbytes,
+                    requested=now,
+                    started=start,
+                    arrived=arrival,
+                )
+            self.sim.schedule_delivery(
+                arrival, deliver, ("data", channel_key)
             )
 
 

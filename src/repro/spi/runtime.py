@@ -48,6 +48,7 @@ from repro.spi import resources as spi_resources
 from repro.spi.actors import (
     ComputationTask,
     LocalFifo,
+    SpiCollectiveSendTask,
     SpiInitTask,
     SpiReceiveTask,
     SpiSendTask,
@@ -158,6 +159,14 @@ class RunResult:
     #: firings executed through the compiled fast-lane
     #: (:class:`repro.platform.compiled.CompiledFiring` tasks)
     compiled_firings: int = 0
+    #: wire transfers performed by collective (broadcast/scatter)
+    #: connections — one per physical link use, not per consumer
+    collective_messages: int = 0
+    #: per-consumer deliveries those collective transfers fanned out to
+    fan_out_deliveries: int = 0
+    #: logical bytes (sum over consumers) minus wire bytes actually
+    #: carried — the saving from sharing one payload per link
+    wire_bytes_saved: int = 0
 
     @property
     def steady_state_detected_at(self) -> Optional[int]:
@@ -437,8 +446,8 @@ class SpiSystem:
                     acks_enabled=False,
                 ),
             )
-            delay_msgs = ipc_edge.delay // max(1, ipc_edge.source.rate)
-            payload_bytes = ipc_edge.source.rate * ipc_edge.token_bytes
+            delay_msgs = ipc_edge.delay // max(1, ipc_edge.prod_rate)
+            payload_bytes = ipc_edge.prod_rate * ipc_edge.token_bytes
             msgs_per_iter = cls._messages_per_iteration(schedule, pair.send)
 
             cached = decisions.get(origin_name) if decisions is not None else None
@@ -628,8 +637,20 @@ class SpiSystem:
             if edge.edge_id not in ipc_edge_ids
         }
 
-        send_plans = {plan.send_actor: plan for plan in self.channel_plans.values()}
+        collective_groups = self.insertion.collective_sends
+        send_plans = {
+            plan.send_actor: plan
+            for plan in self.channel_plans.values()
+            if plan.send_actor not in collective_groups
+        }
         recv_plans = {plan.recv_actor: plan for plan in self.channel_plans.values()}
+        # A collective send actor owns several per-branch channels; match
+        # each fanout member edge back to its channel via the plan's IPC
+        # edge identity.
+        channel_by_ipc_edge = {
+            plan.ipc_edge.edge_id: channels[plan.origin_edge_name]
+            for plan in self.channel_plans.values()
+        }
 
         tasks_by_actor: Dict[str, object] = {}
         compiled_stats = None
@@ -641,7 +662,30 @@ class SpiSystem:
         def task_for(actor: Actor):
             if actor.name in tasks_by_actor:
                 return tasks_by_actor[actor.name]
-            if actor.name in send_plans:
+            if actor.name in collective_groups:
+                group = collective_groups[actor.name]
+                in_edge = graph.in_edges(actor)[0]
+                branches = []
+                local_branches = []
+                for member in graph.out_edges(actor):
+                    if member.edge_id in fifos:
+                        local_branches.append(fifos[member.edge_id])
+                    else:
+                        branches.append(
+                            (member, channel_by_ipc_edge[member.edge_id])
+                        )
+                task = SpiCollectiveSendTask(
+                    actor,
+                    branches,
+                    local_branches,
+                    fifos[in_edge.edge_id],
+                    sim,
+                    interconnect,
+                    transport=transport,
+                    observer=hub,
+                    group_key=f"{group.name}.collective",
+                )
+            elif actor.name in send_plans:
                 plan = send_plans[actor.name]
                 in_edge = graph.in_edges(actor)[0]
                 task = SpiSendTask(
@@ -665,16 +709,20 @@ class SpiSystem:
                     observer=hub,
                 )
             else:
-                inputs = {
-                    e.sink.name: fifos[e.edge_id]
-                    for e in graph.in_edges(actor)
-                    if e.edge_id in fifos
-                }
-                outputs = {
-                    e.source.name: fifos[e.edge_id]
-                    for e in graph.out_edges(actor)
-                    if e.edge_id in fifos
-                }
+                # A port may own several member fifos (gather/reduce
+                # sinks, all-local broadcast sources) — accumulate lists.
+                inputs: Dict[str, List[LocalFifo]] = {}
+                for e in graph.in_edges(actor):
+                    if e.edge_id in fifos:
+                        inputs.setdefault(e.sink.name, []).append(
+                            fifos[e.edge_id]
+                        )
+                outputs: Dict[str, List[LocalFifo]] = {}
+                for e in graph.out_edges(actor):
+                    if e.edge_id in fifos:
+                        outputs.setdefault(e.source.name, []).append(
+                            fifos[e.edge_id]
+                        )
                 if compiled_stats is not None:
                     task = CompiledFiring(
                         actor, inputs, outputs, stats=compiled_stats
@@ -823,6 +871,9 @@ class SpiSystem:
                 if compiled_stats is not None
                 else 0
             ),
+            collective_messages=getattr(transport, "collective_messages", 0),
+            fan_out_deliveries=getattr(transport, "fan_out_deliveries", 0),
+            wire_bytes_saved=getattr(transport, "wire_bytes_saved", 0),
         )
         if hub is not None:
             from repro.observability import (
@@ -961,7 +1012,13 @@ class SpiSystem:
             transport.capture_state,
         ]
 
-        transport_fields = ["messages", "bytes"]
+        transport_fields = [
+            "messages",
+            "bytes",
+            "collective_messages",
+            "fan_out_deliveries",
+            "wire_bytes_saved",
+        ]
         if hasattr(transport, "fast_path_deliveries"):
             transport_fields.append("fast_path_deliveries")
         meters = []
@@ -1118,8 +1175,15 @@ class SpiSystem:
         """
         from repro.dataflow.sdf import build_pass
 
+        # A collective send actor fires once per group transfer: all of
+        # its per-branch plans share ONE bus slot, keyed by the group.
         send_to_key = {
-            plan.send_actor: plan.ipc_edge.name
+            plan.send_actor: (
+                f"{self.insertion.collective_sends[plan.send_actor].name}"
+                ".collective"
+                if plan.send_actor in self.insertion.collective_sends
+                else plan.ipc_edge.name
+            )
             for plan in self.channel_plans.values()
         }
         order = [

@@ -1,0 +1,88 @@
+"""A/B integration tests: the particle filter's S1 weight-sum exchange
+as collective broadcasts vs. the legacy point-to-point fan-out.
+
+Two statements are pinned here:
+
+* at 2 PEs every broadcast has exactly one consumer, so the collective
+  build degenerates to the p2p build — bit-identical cycle count,
+  traffic and estimates;
+* at 4 PEs the collective build moves strictly fewer wire messages and
+  strictly fewer wire bytes (the paper's motivation for first-class
+  collectives), while producing the same estimates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.particle_filter import build_particle_filter_graph
+from repro.spi import SpiConfig, SpiSystem
+
+
+def _run_pf(crack_setup, n_pes, collectives, transport="shared_bus",
+            n_particles=80, iterations=6):
+    model, _, observations = crack_setup
+    system = build_particle_filter_graph(
+        model, observations, n_particles=n_particles, n_pes=n_pes,
+        collectives=collectives,
+    )
+    compiled = SpiSystem.compile(
+        system.graph, system.partition, SpiConfig(transport=transport)
+    )
+    result = compiled.run(iterations=iterations, metrics=True)
+    return system, result
+
+
+def _wire_messages(result):
+    """Transfers actually on the wire: each collective transfer counts
+    once, not once per delivered consumer copy."""
+    return (
+        result.data_messages
+        - result.fan_out_deliveries
+        + result.collective_messages
+    )
+
+
+class TestDegenerateAtTwoPes:
+    def test_bit_identical_run(self, crack_setup):
+        sys_a, res_a = _run_pf(crack_setup, n_pes=2, collectives=True)
+        sys_b, res_b = _run_pf(crack_setup, n_pes=2, collectives=False)
+        assert res_a.cycles == res_b.cycles
+        assert res_a.data_messages == res_b.data_messages
+        assert res_a.wire_bytes == res_b.wire_bytes
+        assert res_a.collective_messages == 0
+        assert res_b.collective_messages == 0
+        np.testing.assert_allclose(sys_a.estimates(), sys_b.estimates())
+
+
+class TestCollectiveWinAtFourPes:
+    def test_fewer_wire_messages_and_bytes(self, crack_setup):
+        """The ISSUE's acceptance criterion: at p >= 4 the resampling
+        exchange moves strictly fewer messages AND wire bytes."""
+        sys_a, coll = _run_pf(crack_setup, n_pes=4, collectives=True)
+        sys_b, p2p = _run_pf(crack_setup, n_pes=4, collectives=False)
+        assert coll.collective_messages > 0
+        assert p2p.collective_messages == 0
+        assert _wire_messages(coll) < _wire_messages(p2p)
+        assert (coll.wire_bytes - coll.wire_bytes_saved) < p2p.wire_bytes
+        np.testing.assert_allclose(sys_a.estimates(), sys_b.estimates())
+
+    # on p2p links every consumer sits behind its own wire, so there is
+    # nothing to share; the win is a shared-medium property
+    @pytest.mark.parametrize("transport", ["shared_bus", "ordered_bus"])
+    def test_win_holds_per_transport(self, crack_setup, transport):
+        _, coll = _run_pf(crack_setup, 4, True, transport=transport)
+        _, p2p = _run_pf(crack_setup, 4, False, transport=transport)
+        assert _wire_messages(coll) < _wire_messages(p2p)
+        assert (coll.wire_bytes - coll.wire_bytes_saved) < p2p.wire_bytes
+
+    def test_collective_graph_still_tracks_truth(self, crack_setup):
+        model, truth, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=100, n_pes=4, collectives=True
+        )
+        SpiSystem.compile(system.graph, system.partition).run(
+            iterations=len(observations)
+        )
+        estimates = np.asarray(system.estimates())
+        rmse = float(np.sqrt(np.mean((estimates - truth) ** 2)))
+        assert rmse < 3 * model.measurement_noise

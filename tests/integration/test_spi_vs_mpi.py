@@ -63,8 +63,27 @@ class TestPfComparison:
         )
         assert spi.execution_time_us < mpi.execution_time_us
 
+    def test_ablation_runs_with_collectives_on_both_sides(self, crack_setup):
+        """The apples-to-apples ablation: both layers lower the same
+        S1 weight-sum broadcasts as collectives (SPI shares the wire,
+        MPI amortizes the software send path a la MPI_Bcast)."""
+        import numpy as np
 
-class TestLibraryFootprint:
+        model, _, observations = crack_setup
+        system = build_particle_filter_graph(
+            model, observations, n_particles=80, n_pes=4, collectives=True
+        )
+        spi = SpiSystem.compile(system.graph, system.partition).run(
+            iterations=6
+        )
+        system2 = build_particle_filter_graph(
+            model, observations, n_particles=80, n_pes=4, collectives=True
+        )
+        mpi = MpiSystem.compile(system2.graph, system2.partition).run(
+            iterations=6
+        )
+        assert spi.execution_time_us < mpi.execution_time_us
+        np.testing.assert_allclose(system.estimates(), system2.estimates())
     def test_spi_fabric_smaller_than_mpi(self, speech_frames):
         system = build_parallel_error_graph(speech_frames, order=8, n_units=2)
         spi = SpiSystem.compile(system.graph, system.partition)

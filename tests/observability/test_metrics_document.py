@@ -147,6 +147,30 @@ class TestValidation:
         with pytest.raises(MetricsValidationError, match="high-water"):
             validate_metrics(document)
 
+    def test_rejects_fan_out_without_collective_transfers(self):
+        document = small_system().run(iterations=3, metrics=True).metrics
+        document["transport"]["fan_out_deliveries"] = 2
+        with pytest.raises(MetricsValidationError, match="collective"):
+            validate_metrics(document)
+
+    def test_rejects_fan_out_below_collective_messages(self):
+        document = small_system().run(iterations=3, metrics=True).metrics
+        document["transport"]["collective_messages"] = 4
+        document["transport"]["fan_out_deliveries"] = 3
+        with pytest.raises(MetricsValidationError, match="fan_out"):
+            validate_metrics(document)
+
+    def test_rejects_saved_bytes_over_logical_traffic(self):
+        document = small_system().run(iterations=3, metrics=True).metrics
+        logical = sum(
+            c["data_bytes"] + c["header_bytes"] for c in document["channels"]
+        )
+        document["transport"]["collective_messages"] = 1
+        document["transport"]["fan_out_deliveries"] = 2
+        document["transport"]["wire_bytes_saved"] = logical + 1
+        with pytest.raises(MetricsValidationError, match="wire_bytes_saved"):
+            validate_metrics(document)
+
 
 class TestPaperGraphs:
     def test_lpc_occupancy_within_static_bound(self, lpc_result):
@@ -186,3 +210,17 @@ class TestPaperGraphs:
         assert "processing elements:" in text
         assert "channels:" in text
         assert "MCM bound" in text
+
+    def test_summary_collective_row_gated_on_traffic(self, lpc_result):
+        from repro.analysis import render_metrics_summary
+
+        document = lpc_result.metrics
+        assert "collectives:" not in render_metrics_summary(document)
+        document["transport"]["collective_messages"] = 3
+        document["transport"]["fan_out_deliveries"] = 6
+        document["transport"]["wire_bytes_saved"] = 48
+        text = render_metrics_summary(document)
+        assert (
+            "collectives: 3 wire transfer(s) fanned out to 6 deliveries, "
+            "48B saved by payload sharing" in text
+        )

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Gate the batching benchmark against its committed baseline.
+
+Usage::
+
+    python benchmarks/check_batching_regression.py BASELINE.json CURRENT.json
+
+Gates, all applied to the current document:
+
+* **fig6 batched win** — the best batched configuration must run at
+  least ``SPEEDUP_FLOOR`` (1.5x) faster than batch=1 on the LPC
+  parallel-error pipeline in full mode (the ISSUE's acceptance
+  criterion); quick sweeps fewer blocking factors, so the floor relaxes
+  to ``QUICK_SPEEDUP_FLOOR``.
+* **equal-budget hetero win** — the heterogeneous platform (gpp +
+  accelerators, batched) must beat the homogeneous all-gpp platform of
+  the same resource budget in simulated cycles.
+* **fig7 clamp** — the particle filter's feedback loop admits no
+  blocking factor: the effective batch must be exactly 1 and no batched
+  dispatch may be recorded.
+* **vectorized-kernel wall-clock win** (full mode only — quick CI
+  runners are too noisy for wall-clock gates) — every vectorized host
+  kernel must beat its per-element reference loop.
+* **same-mode comparison** (same ``quick`` flag only) — simulated
+  cycles per (n_units, batch) sweep point must not exceed the baseline;
+  the cycle counts are deterministic, so any growth is a scheduling or
+  cost-model regression, not noise.
+
+Exit status 0 = pass, 1 = regression, 2 = unusable input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: minimum best-batched/batch=1 cycle ratio on fig6 (full mode)
+SPEEDUP_FLOOR = 1.5
+#: relaxed floor for quick-mode documents (fewer blocking factors)
+QUICK_SPEEDUP_FLOOR = 1.2
+
+
+def load(path: str) -> dict:
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}")
+        raise SystemExit(2)
+    if document.get("name") != "batching" or "rows" not in document.get(
+        "extra", {}
+    ):
+        print(f"{path} is not a batching bench document")
+        raise SystemExit(2)
+    return document
+
+
+def check_current(current: dict) -> list:
+    failures = []
+    extra = current["extra"]
+    quick = current.get("quick", False)
+
+    floor = QUICK_SPEEDUP_FLOOR if quick else SPEEDUP_FLOOR
+    best = extra["fig6_best_cycles"]
+    base = extra["fig6_batch1_cycles"]
+    if best <= 0:
+        failures.append("fig6 best batched run reported no cycles")
+    elif base / best < floor:
+        failures.append(
+            f"fig6 batched speedup {base / best:.2f}x below the "
+            f"{floor}x floor (batch=1 {base}, best {best})"
+        )
+
+    hetero = extra["hetero_vs_homo"]
+    if hetero["hetero_cycles"] >= hetero["homo_cycles"]:
+        failures.append(
+            f"equal-budget ablation: heterogeneous "
+            f"{hetero['hetero_cycles']} cycles not below homogeneous "
+            f"{hetero['homo_cycles']} (budget {hetero['budget']})"
+        )
+
+    fig7 = extra["fig7"]
+    if fig7["effective_batch"] != 1 or fig7["batch_dispatches"] != 0:
+        failures.append(
+            f"fig7 feedback loop must clamp to batch 1, got effective "
+            f"batch {fig7['effective_batch']} with "
+            f"{fig7['batch_dispatches']} batched dispatch(es)"
+        )
+
+    if not quick:
+        for kernel in extra["kernels"]:
+            if kernel["speedup"] <= 1.0:
+                failures.append(
+                    f"vectorized kernel {kernel['name']} not faster than "
+                    f"its reference loop ({kernel['speedup']:.2f}x)"
+                )
+    return failures
+
+
+def check_against_baseline(baseline: dict, current: dict) -> list:
+    if baseline.get("quick") != current.get("quick"):
+        print(
+            "baseline/current were produced in different modes "
+            "(quick vs full); applying the current-document gates only"
+        )
+        return []
+    failures = []
+    baseline_rows = {
+        (row["n_units"], row["requested_batch"]): row
+        for row in baseline["extra"]["rows"]
+    }
+    for row in current["extra"]["rows"]:
+        base = baseline_rows.get((row["n_units"], row["requested_batch"]))
+        if base is None:
+            continue
+        if row["cycles"] > base["cycles"]:
+            failures.append(
+                f"n_units={row['n_units']} batch={row['requested_batch']}: "
+                f"cycles grew {base['cycles']} -> {row['cycles']}"
+            )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load(argv[1])
+    current = load(argv[2])
+    failures = check_current(current)
+    failures += check_against_baseline(baseline, current)
+    if failures:
+        print("batching regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("batching regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

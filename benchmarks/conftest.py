@@ -10,6 +10,7 @@ pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -30,6 +31,20 @@ def save_result(name: str, text: str) -> Path:
     return path
 
 
+def _committed_baseline_is_full_mode(name: str) -> bool:
+    """True when ``BENCH_<name>.json`` exists and was produced in full
+    (non-quick) mode — i.e. it is a committed baseline a quick run must
+    not clobber."""
+    committed = RESULTS_DIR / f"BENCH_{name}.json"
+    if not committed.exists():
+        return False
+    try:
+        document = json.loads(committed.read_text())
+    except (OSError, ValueError):
+        return False
+    return document.get("quick") is False
+
+
 def save_bench_json(
     name: str,
     makespan_cycles: int,
@@ -41,8 +56,19 @@ def save_bench_json(
 
     The perf-trajectory document the CI benchmark-smoke job uploads as
     an artifact; see :mod:`repro.observability.bench` for the schema.
+
+    A quick-mode run never overwrites a committed full-mode baseline:
+    when ``REPRO_BENCH_QUICK=1`` and ``BENCH_<name>.json`` holds a
+    full-mode document, the quick document is diverted to
+    ``BENCH_<name>.quick.json`` (same schema, ``quick: true``) and the
+    regression checkers are pointed at that file instead — so a CI run
+    cannot silently replace the stronger baseline it gates against.
     """
-    from repro.observability import bench_document, write_bench_json
+    from repro.observability import (
+        bench_document,
+        validate_bench,
+        write_bench_json,
+    )
 
     document = bench_document(
         name,
@@ -52,6 +78,12 @@ def save_bench_json(
         quick=QUICK,
         extra=extra,
     )
+    if QUICK and _committed_baseline_is_full_mode(name):
+        validate_bench(document)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.quick.json"
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        return path
     return write_bench_json(RESULTS_DIR, document)
 
 

@@ -218,6 +218,15 @@ def render_metrics_summary(document: Dict) -> str:
             f"{transport['fan_out_deliveries']} deliveries, "
             f"{transport['wire_bytes_saved']}B saved by payload sharing"
         )
+    if sim.get("batch_dispatches", 0):
+        lines.append(
+            f"batching: blocking factor "
+            f"{document['run'].get('batch', 1)}, "
+            f"{sim['batched_firings']} firing(s) in "
+            f"{sim['batch_dispatches']} batched dispatch(es), "
+            f"{sim.get('amortized_dispatch_cycles_saved', 0)} dispatch "
+            f"cycle(s) amortized away"
+        )
     lines += [
         f"simulator: {sim['events_processed']} events, {sim['parks']} parks, "
         f"{sim['retry_rounds']} retry rounds",

@@ -18,7 +18,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.apps.lpc.fft import fft_cycles, is_power_of_two, power_spectrum
+from repro.apps.lpc.fft import (
+    fft_cycles,
+    is_power_of_two,
+    power_spectrum,
+    power_spectrum_batch,
+)
 from repro.apps.lpc.huffman import build_huffman_code, huffman_cycles
 from repro.apps.lpc.linalg import lu_cycles
 from repro.apps.lpc.lpc import (
@@ -89,6 +94,20 @@ class SpectralAnalyzer:
         token = inputs["frame"][0] if inputs.get("frame") else None
         n = next_pow2(token["frame"].shape[0]) if token else 256
         return fft_cycles(n)
+
+    @staticmethod
+    def analyze_batch(frames: np.ndarray) -> np.ndarray:
+        """Power spectra of B equal-length windows in one vectorized pass.
+
+        The host-side kernel of a batched accelerator dispatch: one
+        zero-pad + one batched FFT replaces B scalar transforms.  Rows
+        are bit-identical to the per-firing kernel's spectra.
+        """
+        frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+        padded = next_pow2(frames.shape[1])
+        buffer = np.zeros((frames.shape[0], padded))
+        buffer[:, : frames.shape[1]] = frames
+        return power_spectrum_batch(buffer)
 
 
 class CoefficientSolver:

@@ -78,6 +78,27 @@ class CrackGrowthModel:
         z = (observation - lengths) / sigma
         return np.exp(-0.5 * z * z)
 
+    def likelihood_batch(
+        self, observations: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """Likelihoods for a batch of observations in one vectorized pass.
+
+        ``observations`` is ``(B,)`` and ``lengths`` ``(B, P)`` (one
+        particle population per batched filter step); returns
+        ``(B, P)``.  Row ``b`` is exactly
+        ``likelihood(observations[b], lengths[b])`` — the expression is
+        elementwise, so batching changes no summation order.
+        """
+        obs = np.asarray(observations, dtype=np.float64).reshape(-1, 1)
+        lengths = np.atleast_2d(np.asarray(lengths, dtype=np.float64))
+        if lengths.shape[0] != obs.shape[0]:
+            raise ValueError(
+                f"batch mismatch: {obs.shape[0]} observations, "
+                f"{lengths.shape[0]} particle populations"
+            )
+        z = (obs - lengths) / self.measurement_noise
+        return np.exp(-0.5 * z * z)
+
     def observe(self, length: float, rng: np.random.RandomState) -> float:
         """Draw a noisy measurement of the true length."""
         return length + self.measurement_noise * rng.randn()

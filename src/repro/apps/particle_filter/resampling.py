@@ -78,7 +78,21 @@ def multinomial_resample(
 
 
 def multiplicities(indices: Sequence[int], population: int) -> np.ndarray:
-    """Per-particle replica counts from resampled indices."""
+    """Per-particle replica counts from resampled indices.
+
+    Vectorized as one ``np.bincount`` — integer counting, so the result
+    is exactly (not approximately) the per-element loop's; the loop
+    survives as :func:`_multiplicities_loop` for the equivalence tests.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= population):
+        bad = idx[(idx < 0) | (idx >= population)][0]
+        raise ValueError(f"index {bad} out of range")
+    return np.bincount(idx, minlength=population).astype(np.int64)
+
+
+def _multiplicities_loop(indices: Sequence[int], population: int) -> np.ndarray:
+    """Reference per-element implementation of :func:`multiplicities`."""
     counts = np.zeros(population, dtype=np.int64)
     for index in indices:
         if not 0 <= index < population:

@@ -40,6 +40,7 @@ from repro.conformance.shrinker import (
     write_replay_file,
 )
 from repro.conformance.spec import (
+    CONFORMANCE_ACCELERATOR,
     ActorSpec,
     ConformanceCase,
     EdgeSpec,
@@ -51,6 +52,7 @@ from repro.conformance.spec import (
 
 __all__ = [
     "ActorSpec",
+    "CONFORMANCE_ACCELERATOR",
     "CampaignConfig",
     "ConformanceCase",
     "DEFAULT_MAX_CYCLES",

@@ -61,6 +61,10 @@ class GraphShape:
     #: probability of adding one collective (broadcast/gather) connection
     collective_prob: float = 0.0
     max_collective_branches: int = 3
+    #: probability of requesting a blocking factor > 1 on a platform
+    #: with accelerator PEs (the runtime clamps infeasible requests)
+    batch_prob: float = 0.0
+    max_batch: int = 4
 
     def __post_init__(self) -> None:
         if not 1 <= self.min_actors <= self.max_actors:
@@ -77,8 +81,10 @@ class GraphShape:
             raise ValueError("max_delay_iterations must be >= 1")
         if self.max_collective_branches < 1:
             raise ValueError("max_collective_branches must be >= 1")
+        if self.max_batch < 2:
+            raise ValueError("max_batch must be >= 2")
         for name in ("extra_edge_prob", "feedback_prob", "delay_prob",
-                     "dynamic_prob", "collective_prob"):
+                     "dynamic_prob", "collective_prob", "batch_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -236,6 +242,17 @@ def generate_spec(seed: int, shape: Optional[GraphShape] = None) -> GraphSpec:
     assignment = tuple(
         (actor.name, rng.randrange(n_pes)) for actor in actors
     )
+
+    # optionally a blocking factor on a heterogeneous platform; like
+    # collective_prob, batch_prob == 0 must not touch the rng stream so
+    # pre-batching seeds keep generating bit-identical graphs
+    batch = 1
+    accelerators = ()
+    if shape.batch_prob > 0 and rng.random() < shape.batch_prob:
+        batch = rng.randint(2, shape.max_batch)
+        accelerators = tuple(
+            sorted(rng.sample(range(n_pes), rng.randint(1, n_pes)))
+        )
     return GraphSpec(
         seed=seed,
         actors=actors,
@@ -243,4 +260,6 @@ def generate_spec(seed: int, shape: Optional[GraphShape] = None) -> GraphSpec:
         n_pes=n_pes,
         assignment=assignment,
         connections=tuple(connections),
+        batch=batch,
+        accelerators=accelerators,
     )

@@ -77,6 +77,10 @@ def _candidates(spec: GraphSpec) -> Iterator[GraphSpec]:
         yield replace(
             spec, edges=spec.edges[:index] + spec.edges[index + 1:]
         )
+    if spec.batch > 1:
+        yield replace(spec, batch=1)
+    if spec.accelerators:
+        yield replace(spec, accelerators=())
     if spec.n_pes > 1:
         yield replace(
             spec,
@@ -84,6 +88,9 @@ def _candidates(spec: GraphSpec) -> Iterator[GraphSpec]:
             assignment=tuple(
                 (name, min(pe, spec.n_pes - 2))
                 for name, pe in spec.assignment
+            ),
+            accelerators=tuple(
+                sorted({min(pe, spec.n_pes - 2) for pe in spec.accelerators})
             ),
         )
     for index, actor in enumerate(spec.actors):

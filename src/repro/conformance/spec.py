@@ -31,6 +31,7 @@ from typing import Dict, List, Tuple
 from repro.dataflow.dynamic import DynamicRate
 from repro.dataflow.graph import DataflowGraph, GraphError
 from repro.mapping.partition import Partition
+from repro.platform.pe import PEClass
 
 __all__ = [
     "ActorSpec",
@@ -41,7 +42,17 @@ __all__ = [
     "TokenTap",
     "ConformanceCase",
     "build_case",
+    "CONFORMANCE_ACCELERATOR",
 ]
+
+#: the accelerator class heterogeneous conformance cases assign —
+#: fixed constants so a replayed seed rebuilds the identical platform
+CONFORMANCE_ACCELERATOR = PEClass(
+    kind="accelerator",
+    dispatch_cycles=20,
+    cycles_per_element=0.5,
+    resource_cost=2.0,
+)
 
 #: schema identifier stamped into serialised specs / replay files
 SPEC_SCHEMA = "repro.conformance.spec/1"
@@ -173,6 +184,12 @@ class GraphSpec:
     n_pes: int
     assignment: Tuple[Tuple[str, int], ...]
     connections: Tuple[ConnectionSpec, ...] = ()
+    #: requested blocking factor (the runtime clamps it to what the
+    #: schedule admits; 1 = plain per-firing execution)
+    batch: int = 1
+    #: PE indices carrying :data:`CONFORMANCE_ACCELERATOR` instead of
+    #: the default gpp class
+    accelerators: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         names = [a.name for a in self.actors]
@@ -193,6 +210,13 @@ class GraphSpec:
                     )
         if self.n_pes < 1:
             raise SpecError("n_pes must be >= 1")
+        if self.batch < 1:
+            raise SpecError("batch must be >= 1")
+        if len(set(self.accelerators)) != len(self.accelerators):
+            raise SpecError("duplicate accelerator PE indices")
+        for pe in self.accelerators:
+            if not 0 <= pe < self.n_pes:
+                raise SpecError(f"accelerator PE {pe} out of range")
         assigned = dict(self.assignment)
         for name in names:
             pe = assigned.get(name)
@@ -279,6 +303,8 @@ class GraphSpec:
             ],
             "n_pes": self.n_pes,
             "assignment": {name: pe for name, pe in self.assignment},
+            "batch": self.batch,
+            "accelerators": list(self.accelerators),
         }
 
     @classmethod
@@ -320,6 +346,10 @@ class GraphSpec:
             n_pes=int(document["n_pes"]),
             assignment=tuple(
                 sorted((name, int(pe)) for name, pe in document["assignment"].items())
+            ),
+            batch=int(document.get("batch", 1)),
+            accelerators=tuple(
+                int(pe) for pe in document.get("accelerators", [])
             ),
         )
 
@@ -509,5 +539,13 @@ def build_case(spec: GraphSpec) -> ConformanceCase:
     except GraphError as exc:  # pragma: no cover - spec invariants prevent it
         raise SpecError(str(exc)) from exc
 
-    partition = Partition(graph, spec.n_pes, dict(spec.assignment))
+    partition = Partition(
+        graph,
+        spec.n_pes,
+        dict(spec.assignment),
+        pe_classes={
+            pe: CONFORMANCE_ACCELERATOR for pe in spec.accelerators
+        },
+        batch_size=spec.batch,
+    )
     return ConformanceCase(spec=spec, graph=graph, partition=partition, tap=tap)

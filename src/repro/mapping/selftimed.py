@@ -18,7 +18,12 @@ from repro.dataflow.hsdf import hsdf_expand, invocation_name
 from repro.dataflow.sdf import build_pass, repetitions_vector
 from repro.mapping.partition import Partition
 
-__all__ = ["SelfTimedSchedule", "build_selftimed_schedule"]
+__all__ = [
+    "SelfTimedSchedule",
+    "build_selftimed_schedule",
+    "batch_is_admissible",
+    "max_feasible_batch",
+]
 
 
 @dataclass
@@ -146,3 +151,67 @@ def build_selftimed_schedule(
     )
     schedule.validate()
     return schedule
+
+
+def batch_is_admissible(schedule: SelfTimedSchedule, batch: int) -> bool:
+    """Is a *blocked* execution with blocking factor ``batch`` deadlock-free?
+
+    Under batched execution every task of every PE runs ``batch``
+    logical firings atomically per macro-pass (a blocked schedule in the
+    Lee/Messerschmitt sense): one task execution consumes/produces
+    ``batch * rate`` tokens in one burst.  That is admissible iff a
+    symbolic token simulation of one macro-pass completes — each PE
+    advances through its cyclic order, a task fires only when every
+    input edge of the task graph holds the full burst.  One macro-pass
+    suffices: a consistent graph returns to its initial token state
+    after any whole number of iterations.
+
+    Feedback edges whose delay is below the burst size are exactly what
+    fails here (the particle filter's capacity loop clamps to 1).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if batch == 1:
+        return True  # the PASS-derived orders are admissible by construction
+    task_graph = schedule.task_graph
+    tokens: Dict[Tuple[str, str, int], int] = {}
+    in_edges: Dict[str, list] = {t.name: [] for t in task_graph.actors}
+    out_edges: Dict[str, list] = {t.name: [] for t in task_graph.actors}
+    for i, edge in enumerate(task_graph.edges):
+        key = (edge.src_actor.name, edge.snk_actor.name, i)
+        tokens[key] = edge.delay
+        in_edges[edge.snk_actor.name].append((key, edge.cons_rate))
+        out_edges[edge.src_actor.name].append((key, edge.prod_rate))
+
+    pointers = {pe: 0 for pe in schedule.orders}
+    remaining = sum(len(order) for order in schedule.orders.values())
+    while remaining:
+        advanced = False
+        for pe, order in schedule.orders.items():
+            i = pointers[pe]
+            if i >= len(order):
+                continue
+            task = order[i]
+            if all(
+                tokens[key] >= batch * rate for key, rate in in_edges[task]
+            ):
+                for key, rate in in_edges[task]:
+                    tokens[key] -= batch * rate
+                for key, rate in out_edges[task]:
+                    tokens[key] += batch * rate
+                pointers[pe] = i + 1
+                remaining -= 1
+                advanced = True
+        if not advanced:
+            return False
+    return True
+
+
+def max_feasible_batch(schedule: SelfTimedSchedule, requested: int) -> int:
+    """Largest admissible blocking factor ``<= requested`` (>= 1)."""
+    if requested < 1:
+        raise ValueError("requested batch must be >= 1")
+    for batch in range(requested, 1, -1):
+        if batch_is_admissible(schedule, batch):
+            return batch
+    return 1

@@ -19,18 +19,25 @@ Metrics JSON schema (``repro.metrics/1``)::
     {
       "schema": "repro.metrics/1",
       "run": {"cycles", "iterations", "iteration_period_cycles",
-              "execution_time_us", "mcm_bound_cycles"},
+              "execution_time_us", "mcm_bound_cycles",
+              "batch"},                      # blocking factor (1 = unbatched)
       "simulator": {"events_processed", "parks", "retry_rounds",
                     "wakeup_policy", "queue_policy", "targeted_wakeups",
                     "broadcast_wakeups", "spurious_wakeups",
                     "total_wakeups", "steady_state_detected_at",
-                    "extrapolated_iterations", "compiled_firings"},
+                    "extrapolated_iterations", "compiled_firings",
+                    "batched_firings",       # firings run in burst dispatches
+                    "batch_dispatches",      # dispatches covering > 1 firing
+                    "amortized_dispatch_cycles_saved"},
       "pes": [{"index", "name", "busy_cycles", "blocked_cycles",
                "firings", "blocked_events", "utilization",
+               "pe_class",                   # "gpp" | "accelerator"
+               "batched_firings", "batch_dispatches",
+               "amortized_dispatch_cycles_saved",
                "blocked_by_task": {task: cycles}}],
       "channels": [{"name", "protocol", "src_pe", "dst_pe",
                     "bound_messages",        # B(e), compile-time
-                    "physical_slots",        # B(e) + 1 in-flight slot
+                    "physical_slots",        # B(e) + batch in-flight slots
                     "occupancy_high_water_messages",
                     "capacity_bytes", "occupancy_high_water_bytes",
                     "data_messages", "ack_messages", "data_bytes",
@@ -91,6 +98,7 @@ def build_metrics_document(
 ) -> Dict[str, object]:
     """Snapshot one finished run into the metrics JSON shape."""
     pes = result.pe_stats
+    batch = getattr(result, "batch", 1)
     pe_entries: List[Dict[str, object]] = [
         {
             "index": pe.index,
@@ -100,6 +108,12 @@ def build_metrics_document(
             "firings": pe.firings,
             "blocked_events": pe.blocked_events,
             "utilization": pe.utilization(result.cycles),
+            "pe_class": pe.pe_class.kind,
+            "batched_firings": pe.batched_firings,
+            "batch_dispatches": pe.batch_dispatches,
+            "amortized_dispatch_cycles_saved": (
+                pe.amortized_dispatch_cycles_saved
+            ),
             "blocked_by_task": dict(pe.blocked_by_task),
         }
         for pe in pes
@@ -118,7 +132,7 @@ def build_metrics_document(
                 "dynamic": plan.dynamic,
                 "acks_enabled": plan.acks_enabled,
                 "bound_messages": plan.capacity_messages,
-                "physical_slots": plan.capacity_messages + 1,
+                "physical_slots": plan.capacity_messages + batch,
                 "occupancy_high_water_messages": channel.arrived_high_water,
                 "capacity_bytes": channel.recv_buffer.capacity_bytes,
                 "occupancy_high_water_bytes": (
@@ -172,6 +186,7 @@ def build_metrics_document(
             "iteration_period_cycles": result.iteration_period_cycles,
             "execution_time_us": result.execution_time_us,
             "mcm_bound_cycles": system.estimated_iteration_period_cycles(),
+            "batch": batch,
         },
         "simulator": {
             "events_processed": sim.events_processed,
@@ -186,6 +201,11 @@ def build_metrics_document(
             "steady_state_detected_at": result.steady_state_detected_at,
             "extrapolated_iterations": result.extrapolated_iterations,
             "compiled_firings": result.compiled_firings,
+            "batched_firings": result.batched_firings,
+            "batch_dispatches": result.batch_dispatches,
+            "amortized_dispatch_cycles_saved": (
+                result.amortized_dispatch_cycles_saved
+            ),
         },
         "pes": pe_entries,
         "channels": channel_entries,
@@ -245,7 +265,8 @@ def validate_metrics(document: Dict[str, object]) -> None:
             raise MetricsValidationError(
                 f"channel {name!r}: occupancy high-water {high} messages "
                 f"exceeds the static bound of {slots} slots "
-                f"(B(e) = {channel['bound_messages']} + 1 in flight)"
+                f"(B(e) = {channel['bound_messages']} + the in-flight "
+                f"burst)"
             )
         capacity = channel["capacity_bytes"]
         if (
@@ -264,7 +285,30 @@ def validate_metrics(document: Dict[str, object]) -> None:
                 f"{pe['name']}: per-task blocked cycles ({attributed}) "
                 f"exceed the PE total ({pe['blocked_cycles']})"
             )
+    batch = document["run"].get("batch", 1)
+    if batch < 1:
+        raise MetricsValidationError(f"run: batch {batch} must be >= 1")
     sim = document["simulator"]
+    batched = sim.get("batched_firings", 0)
+    dispatches = sim.get("batch_dispatches", 0)
+    saved = sim.get("amortized_dispatch_cycles_saved", 0)
+    if dispatches == 0 and (batched or saved):
+        raise MetricsValidationError(
+            f"simulator: batched_firings {batched} / "
+            f"amortized_dispatch_cycles_saved {saved} without any "
+            f"batch_dispatches"
+        )
+    if batched < 2 * dispatches:
+        raise MetricsValidationError(
+            f"simulator: batched_firings {batched} below 2 x "
+            f"batch_dispatches ({dispatches}) — every batched dispatch "
+            f"covers at least two firings"
+        )
+    if batch == 1 and dispatches:
+        raise MetricsValidationError(
+            f"simulator: {dispatches} batch_dispatches in an unbatched "
+            f"(batch = 1) run"
+        )
     if "total_wakeups" in sim:
         split_sum = sim["targeted_wakeups"] + sim["broadcast_wakeups"]
         if sim["total_wakeups"] != split_sum:

@@ -19,7 +19,7 @@ from repro.platform.memory import (
     BufferUnderflowError,
 )
 from repro.platform.compiled import CalendarQueue, CompiledFiring, CompiledStats
-from repro.platform.pe import ProcessingElement
+from repro.platform.pe import GPP, PEClass, ProcessingElement
 from repro.platform.simulator import (
     LostWakeupError,
     PESequencer,
@@ -62,6 +62,8 @@ __all__ = [
     "BufferMemory",
     "BufferOverflowError",
     "BufferUnderflowError",
+    "GPP",
+    "PEClass",
     "ProcessingElement",
     "PESequencer",
     "LostWakeupError",

@@ -131,6 +131,12 @@ class CompiledFiring:
     Construction mirrors :class:`repro.spi.actors.ComputationTask`
     (same ``inputs``/``outputs`` fifo maps); the port tables are
     flattened once here instead of being rebuilt on every guard check.
+
+    Under a batched (blocked) schedule (``batch_counts`` from a
+    :class:`repro.spi.actors.BatchSchedule`) one task execution runs
+    the macro-pass burst of firings atomically at the PE class's
+    amortized dispatch cost — token streams stay identical to
+    sequential execution.
     """
 
     __slots__ = (
@@ -139,6 +145,12 @@ class CompiledFiring:
         "inputs",
         "outputs",
         "firing_index",
+        "batch_counts",
+        "pe_class",
+        "_pe",
+        "_pass",
+        "occurrences",
+        "_executions",
         "_needs",
         "_emits",
         "_static_cycles",
@@ -152,7 +164,11 @@ class CompiledFiring:
         inputs: Dict[str, object],
         outputs: Dict[str, object],
         stats: Optional[CompiledStats] = None,
+        batch_counts=None,
+        pe_class=None,
+        pe=None,
     ) -> None:
+        from repro.platform.pe import GPP
         from repro.spi.actors import normalize_port_fifos
 
         self.actor = actor
@@ -160,6 +176,12 @@ class CompiledFiring:
         self.inputs = normalize_port_fifos(inputs)
         self.outputs = normalize_port_fifos(outputs)
         self.firing_index = 0
+        self.batch_counts = list(batch_counts) if batch_counts else None
+        self.pe_class = pe_class if pe_class is not None else GPP
+        self._pe = pe
+        self._pass = 0
+        self.occurrences = 1  # entries per macro-pass; set by the runtime
+        self._executions = 0
         #: (port name, ((fifo, rate), ...) branches, connection) per
         #: connected input, in port order; branches in branch_index order
         self._needs = tuple(
@@ -203,33 +225,44 @@ class CompiledFiring:
             return connection.branch_span(edge.branch_index)
         return None
 
+    @property
+    def burst(self) -> int:
+        """Logical firings this execution runs atomically."""
+        if self.batch_counts is None:
+            return 1
+        return self.batch_counts[min(self._pass, len(self.batch_counts) - 1)]
+
     def ready(self, now: int) -> bool:
+        burst = 1 if self.batch_counts is None else self.burst
         for _, branches, _ in self._needs:
             for fifo, rate in branches:
-                if len(fifo.tokens) < rate:
+                if len(fifo.tokens) < burst * rate:
                     return False
         return True
 
     def blocked_reason(self, now: int) -> Optional[str]:
+        burst = self.burst
         starved = [
-            f"{fifo.edge.name!r} (has {len(fifo.tokens)}, needs {rate})"
+            f"{fifo.edge.name!r} "
+            f"(has {len(fifo.tokens)}, needs {burst * rate})"
             for _, branches, _ in self._needs
             for fifo, rate in branches
-            if len(fifo.tokens) < rate
+            if len(fifo.tokens) < burst * rate
         ]
         if starved:
             return "starved on " + ", ".join(starved)
         return None
 
     def wait_on(self, now: int) -> List:
+        burst = self.burst
         return [
             fifo.waitset
             for _, branches, _ in self._needs
             for fifo, rate in branches
-            if len(fifo.tokens) < rate
+            if len(fifo.tokens) < burst * rate
         ]
 
-    def start(self, now: int) -> int:
+    def _pop_one(self) -> Dict[str, List]:
         consumed: Dict[str, List] = {}
         for port_name, branches, connection in self._needs:
             if len(branches) == 1 and (
@@ -241,16 +274,41 @@ class CompiledFiring:
                 consumed[port_name] = connection.assemble(
                     [fifo.pop(rate) for fifo, rate in branches]
                 )
-        self._staged = consumed
-        if self._stats is not None:
-            self._stats.compiled_firings += 1
-        if self._static_cycles is not None:
-            return self._static_cycles
-        return self.actor.execution_cycles(self.firing_index, consumed)
+        return consumed
 
-    def finish(self, now: int) -> None:
-        assert self._staged is not None
-        produced = self.actor.fire(self.firing_index, self._staged)
+    def start(self, now: int) -> int:
+        if self.batch_counts is None and not self.pe_class.is_accelerator:
+            # classic fast path: one firing, native cost
+            consumed = self._pop_one()
+            self._staged = consumed
+            if self._stats is not None:
+                self._stats.compiled_firings += 1
+            if self._static_cycles is not None:
+                return self._static_cycles
+            return self.actor.execution_cycles(self.firing_index, consumed)
+        burst = self.burst
+        staged: List[Dict[str, List]] = []
+        native: List[int] = []
+        for i in range(burst):
+            consumed = self._pop_one()
+            staged.append(consumed)
+            if self._static_cycles is not None:
+                native.append(self._static_cycles)
+            else:
+                native.append(
+                    self.actor.execution_cycles(self.firing_index + i, consumed)
+                )
+        self._staged = staged
+        if self._stats is not None:
+            self._stats.compiled_firings += burst
+        if burst > 1 and self._pe is not None:
+            self._pe.record_batched_dispatch(
+                burst, self.pe_class.dispatch_cycles_saved(burst)
+            )
+        return self.pe_class.batch_cycles(native)
+
+    def _fire_one(self, consumed: Dict[str, List]) -> None:
+        produced = self.actor.fire(self.firing_index, consumed)
         for port_name, branches in self._emits:
             values = produced[port_name]
             for fifo, span in branches:
@@ -258,5 +316,20 @@ class CompiledFiring:
                     fifo.push(list(values))
                 else:
                     fifo.push(list(values[span[0]:span[1]]))
-        self._staged = None
         self.firing_index += 1
+
+    def finish(self, now: int) -> None:
+        assert self._staged is not None
+        staged = self._staged
+        self._staged = None
+        if isinstance(staged, dict):
+            self._fire_one(staged)
+            return
+        for consumed in staged:
+            self._fire_one(consumed)
+        # advance only after the last occurrence in the program pass
+        # (actors with repetitions > 1 occupy several entries)
+        self._executions += 1
+        if self._executions >= self.occurrences:
+            self._executions = 0
+            self._pass += 1

@@ -145,10 +145,31 @@ def graph_fingerprint(graph) -> Optional[str]:
 
 
 def _partition_content(partition) -> Dict[str, object]:
-    return {
+    content: Dict[str, object] = {
         "n_pes": partition.n_pes,
         "assignment": sorted(partition.assignment.items()),
     }
+    # Heterogeneity keys enter the fingerprint only when they deviate
+    # from the homogeneous default, so every pre-existing cache entry
+    # (and committed baseline) keeps its key.
+    pe_classes = getattr(partition, "pe_classes", None)
+    if pe_classes:
+        content["pe_classes"] = sorted(
+            (
+                pe,
+                [
+                    kind.kind,
+                    kind.dispatch_cycles,
+                    kind.cycles_per_element,
+                    kind.resource_cost,
+                ],
+            )
+            for pe, kind in pe_classes.items()
+        )
+    batch_size = getattr(partition, "batch_size", 1)
+    if batch_size != 1:
+        content["batch_size"] = batch_size
+    return content
 
 
 def _digest(parts: Dict[str, object]) -> str:

@@ -13,16 +13,18 @@ same-PE edges.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.dataflow.graph import Actor, Edge
 from repro.dataflow.vts import PackedToken
 from repro.platform.interconnect import Interconnect
+from repro.platform.pe import GPP, PEClass, ProcessingElement
 from repro.platform.simulator import Simulator, Waitset
 from repro.spi.channel import SpiChannel
 from repro.spi.message import make_ack_message, make_data_message
 
 __all__ = [
+    "BatchSchedule",
     "LocalFifo",
     "ComputationTask",
     "SpiInitTask",
@@ -39,6 +41,84 @@ __all__ = [
 
 #: one-time channel setup cost charged by SPI_init per PE
 INIT_CYCLES = 8
+
+
+class BatchSchedule:
+    """Macro-pass plan of a blocked (batched) execution.
+
+    A run of ``iterations`` graph iterations under blocking factor
+    ``batch`` executes ``passes`` macro-passes; in pass ``i`` every task
+    runs ``counts[i]`` logical firings atomically.  The tail pass covers
+    the remainder when ``iterations`` is not a multiple of ``batch``, so
+    token production is exact, never rounded up.
+    """
+
+    def __init__(self, iterations: int, batch: int) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        full, tail = divmod(iterations, batch)
+        self.iterations = iterations
+        self.batch = batch
+        self.counts: List[int] = [batch] * full + ([tail] if tail else [])
+
+    @property
+    def passes(self) -> int:
+        return len(self.counts)
+
+
+class _BatchedTaskMixin:
+    """Shared burst/cost plumbing of the batch-aware SPI tasks.
+
+    ``batch_counts`` is the per-macro-pass firing count list of a
+    :class:`BatchSchedule` (``None`` means classic one-firing-at-a-time
+    execution); ``pe_class`` prices each dispatch; ``pe`` receives the
+    batching counters.  Each task advances its private pass cursor once
+    per execution — all tasks of a program run in lockstep, so the
+    cursor always names the current macro-pass.
+    """
+
+    def _init_batch(
+        self,
+        batch_counts: Optional[Sequence[int]],
+        pe_class: PEClass,
+        pe: Optional[ProcessingElement],
+    ) -> None:
+        self.batch_counts = list(batch_counts) if batch_counts else None
+        self.pe_class = pe_class
+        self._pe = pe
+        self._pass = 0
+        #: program entries this task occupies per macro-pass (= its
+        #: actor's repetitions on the PE); set by the runtime after
+        #: program assembly
+        self.occurrences = 1
+        self._executions = 0
+
+    @property
+    def burst(self) -> int:
+        """Logical firings this execution runs atomically."""
+        if self.batch_counts is None:
+            return 1
+        return self.batch_counts[min(self._pass, len(self.batch_counts) - 1)]
+
+    def _charge(self, native_cycles: Sequence[int]) -> int:
+        """Duration of one dispatch over the burst, recording counters."""
+        burst = len(native_cycles)
+        if burst > 1 and self._pe is not None:
+            self._pe.record_batched_dispatch(
+                burst, self.pe_class.dispatch_cycles_saved(burst)
+            )
+        return self.pe_class.batch_cycles(native_cycles)
+
+    def _advance_pass(self) -> None:
+        # The pass cursor may only move after the task's *last*
+        # occurrence in the program pass, or an actor with repetitions
+        # > 1 would read the tail burst mid-pass and under-fire.
+        self._executions += 1
+        if self._executions >= self.occurrences:
+            self._executions = 0
+            self._pass += 1
 
 
 def payload_nbytes(tokens: List, default_token_bytes: int) -> int:
@@ -115,13 +195,19 @@ def assemble_port_tokens(port_name: str, popped: List[tuple]) -> List:
     return connection.assemble([values for _, values in popped])
 
 
-class ComputationTask:
-    """One firing of a dataflow computation actor on its PE.
+class ComputationTask(_BatchedTaskMixin):
+    """One dispatch of a dataflow computation actor on its PE.
 
     Inputs and outputs map port names to :class:`LocalFifo` objects (or
     branch-ordered lists of them, for ports shared by a collective
     connection): SPI insertion guarantees that computation actors only
     ever touch same-PE edges.
+
+    Classic execution runs one firing per dispatch.  Under a batched
+    (blocked) schedule the dispatch covers the macro-pass burst: it
+    consumes ``burst * rate`` tokens atomically, runs every sub-firing
+    of the burst in logical firing order (bit-identical token streams),
+    and its duration is the PE class's amortized dispatch cost.
     """
 
     def __init__(
@@ -129,27 +215,33 @@ class ComputationTask:
         actor: Actor,
         inputs: Dict[str, object],
         outputs: Dict[str, object],
+        batch_counts: Optional[Sequence[int]] = None,
+        pe_class: PEClass = GPP,
+        pe: Optional[ProcessingElement] = None,
     ) -> None:
         self.actor = actor
         self.name = f"fire:{actor.name}"
         self.inputs = normalize_port_fifos(inputs)
         self.outputs = normalize_port_fifos(outputs)
         self.firing_index = 0
-        self._staged: Optional[Dict[str, List]] = None
+        self._init_batch(batch_counts, pe_class, pe)
+        self._staged: Optional[List[Dict[str, List]]] = None
 
     def ready(self, now: int) -> bool:
+        burst = self.burst
         return all(
-            len(fifo) >= fifo.edge.cons_rate
+            len(fifo) >= burst * fifo.edge.cons_rate
             for branch in self.inputs.values()
             for fifo in branch
         )
 
     def blocked_reason(self, now: int) -> Optional[str]:
         """Why this firing cannot start (None when it can)."""
+        burst = self.burst
         starved = []
         for branch in self.inputs.values():
             for fifo in branch:
-                need = fifo.edge.cons_rate
+                need = burst * fifo.edge.cons_rate
                 if len(fifo) < need:
                     starved.append(
                         f"{fifo.edge.name!r} (has {len(fifo)}, needs {need})"
@@ -160,36 +252,50 @@ class ComputationTask:
 
     def wait_on(self, now: int) -> List[Waitset]:
         """Waitsets of the resources currently blocking the guard."""
+        burst = self.burst
         return [
             fifo.waitset
             for branch in self.inputs.values()
             for fifo in branch
-            if len(fifo) < fifo.edge.cons_rate
+            if len(fifo) < burst * fifo.edge.cons_rate
         ]
 
     def start(self, now: int) -> int:
-        consumed: Dict[str, List] = {}
-        for port_name, branch in self.inputs.items():
-            popped = [
-                (fifo.edge, fifo.pop(fifo.edge.cons_rate)) for fifo in branch
-            ]
-            consumed[port_name] = assemble_port_tokens(port_name, popped)
-        self._staged = consumed
-        return self.actor.execution_cycles(self.firing_index, consumed)
+        burst = self.burst
+        staged: List[Dict[str, List]] = []
+        native: List[int] = []
+        for i in range(burst):
+            consumed: Dict[str, List] = {}
+            for port_name, branch in self.inputs.items():
+                popped = [
+                    (fifo.edge, fifo.pop(fifo.edge.cons_rate))
+                    for fifo in branch
+                ]
+                consumed[port_name] = assemble_port_tokens(port_name, popped)
+            staged.append(consumed)
+            native.append(
+                self.actor.execution_cycles(self.firing_index + i, consumed)
+            )
+        self._staged = staged
+        return self._charge(native)
 
     def finish(self, now: int) -> None:
         assert self._staged is not None
-        produced = self.actor.fire(self.firing_index, self._staged)
-        for port_name, branch in self.outputs.items():
-            values = produced[port_name]
-            for fifo in branch:
-                connection = fifo.edge.connection
-                if connection is not None:
-                    fifo.push(connection.produced_tokens(fifo.edge, values))
-                else:
-                    fifo.push(list(values))
+        for consumed in self._staged:
+            produced = self.actor.fire(self.firing_index, consumed)
+            for port_name, branch in self.outputs.items():
+                values = produced[port_name]
+                for fifo in branch:
+                    connection = fifo.edge.connection
+                    if connection is not None:
+                        fifo.push(
+                            connection.produced_tokens(fifo.edge, values)
+                        )
+                    else:
+                        fifo.push(list(values))
+            self.firing_index += 1
         self._staged = None
-        self.firing_index += 1
+        self._advance_pass()
 
 
 class SpiInitTask:
@@ -216,7 +322,7 @@ class SpiInitTask:
         self._done = True
 
 
-class SpiSendTask:
+class SpiSendTask(_BatchedTaskMixin):
     """SPI_send: forwards one message worth of tokens onto the transport.
 
     Guard: the producer-side FIFO holds a full message *and* the
@@ -225,6 +331,12 @@ class SpiSendTask:
     :mod:`repro.spi.library`); the data transfer itself then proceeds
     concurrently with the PE, serialized by the transport (dedicated
     link, shared bus, or ordered-transaction slot).
+
+    A batched dispatch forwards the whole burst: it needs ``burst``
+    messages of tokens and ``burst`` send credits up front, then puts
+    ``burst`` separate wire messages on the transport in firing order —
+    message count and token streams stay identical to sequential
+    execution; only the dispatch timing amortizes.
     """
 
     def __init__(
@@ -236,6 +348,9 @@ class SpiSendTask:
         interconnect: Interconnect,
         transport=None,
         observer=None,
+        batch_counts: Optional[Sequence[int]] = None,
+        pe_class: PEClass = GPP,
+        pe: Optional[ProcessingElement] = None,
     ) -> None:
         self.actor = actor
         self.name = f"{actor.name}"
@@ -247,19 +362,24 @@ class SpiSendTask:
         self.observer = observer
         self.rate = actor.port("in").rate
         self.firing_index = 0
-        self._staged: Optional[List] = None
+        self._init_batch(batch_counts, pe_class, pe)
+        self._staged: Optional[List[List]] = None
 
     def ready(self, now: int) -> bool:
-        return len(self.in_fifo) >= self.rate and self.channel.flow.can_send()
+        burst = self.burst
+        return len(
+            self.in_fifo
+        ) >= burst * self.rate and self.channel.flow.can_send_n(burst)
 
     def blocked_reason(self, now: int) -> Optional[str]:
         """Why this send cannot start (None when it can)."""
-        if len(self.in_fifo) < self.rate:
+        burst = self.burst
+        if len(self.in_fifo) < burst * self.rate:
             return (
                 f"starved on {self.in_fifo.edge.name!r} "
-                f"(has {len(self.in_fifo)}, needs {self.rate})"
+                f"(has {len(self.in_fifo)}, needs {burst * self.rate})"
             )
-        if not self.channel.flow.can_send():
+        if not self.channel.flow.can_send_n(burst):
             return (
                 f"waiting for ack credit on channel "
                 f"{self.channel.edge.name!r}"
@@ -268,24 +388,40 @@ class SpiSendTask:
 
     def wait_on(self, now: int) -> List[Waitset]:
         """Waitsets of the resources currently blocking the guard."""
+        burst = self.burst
         waitsets = []
-        if len(self.in_fifo) < self.rate:
+        if len(self.in_fifo) < burst * self.rate:
             waitsets.append(self.in_fifo.waitset)
-        if not self.channel.flow.can_send():
+        if not self.channel.flow.can_send_n(burst):
             waitsets.append(self.channel.space_waitset)
         return waitsets
 
     def start(self, now: int) -> int:
-        tokens = self.in_fifo.pop(self.rate)
-        self.channel.on_send()
-        self._staged = tokens
-        return self.actor.execution_cycles(self.firing_index, {"in": tokens})
+        burst = self.burst
+        staged: List[List] = []
+        native: List[int] = []
+        for i in range(burst):
+            tokens = self.in_fifo.pop(self.rate)
+            self.channel.on_send()
+            staged.append(tokens)
+            native.append(
+                self.actor.execution_cycles(
+                    self.firing_index + i, {"in": tokens}
+                )
+            )
+        self._staged = staged
+        return self._charge(native)
 
     def finish(self, now: int) -> None:
         assert self._staged is not None
-        tokens = self._staged
+        staged = self._staged
         self._staged = None
-        self.firing_index += 1
+        self._advance_pass()
+        for tokens in staged:
+            self.firing_index += 1
+            self._launch(now, tokens)
+
+    def _launch(self, now: int, tokens: List) -> None:
         nbytes = payload_nbytes(tokens, self.channel.token_bytes)
         message = make_data_message(
             edge_id=self.channel.edge.edge_id,
@@ -329,7 +465,7 @@ class SpiSendTask:
             )
 
 
-class SpiCollectiveSendTask:
+class SpiCollectiveSendTask(_BatchedTaskMixin):
     """One collective (broadcast/scatter) SPI_send serving k branches.
 
     The task fires **once** per producer firing: it pops one message
@@ -355,6 +491,9 @@ class SpiCollectiveSendTask:
         transport=None,
         observer=None,
         group_key: Optional[str] = None,
+        batch_counts: Optional[Sequence[int]] = None,
+        pe_class: PEClass = GPP,
+        pe: Optional[ProcessingElement] = None,
     ) -> None:
         #: branches: [(member_edge, SpiChannel)] in branch order
         self.actor = actor
@@ -386,23 +525,26 @@ class SpiCollectiveSendTask:
         self.connection = next(iter(connections.values()))
         self.shared_payload = self.connection.kind == "broadcast"
         self.firing_index = 0
-        self._staged: Optional[List] = None
+        self._init_batch(batch_counts, pe_class, pe)
+        self._staged: Optional[List[List]] = None
 
     def ready(self, now: int) -> bool:
-        return len(self.in_fifo) >= self.rate and all(
-            channel.flow.can_send() for _, channel in self.branches
+        burst = self.burst
+        return len(self.in_fifo) >= burst * self.rate and all(
+            channel.flow.can_send_n(burst) for _, channel in self.branches
         )
 
     def blocked_reason(self, now: int) -> Optional[str]:
-        if len(self.in_fifo) < self.rate:
+        burst = self.burst
+        if len(self.in_fifo) < burst * self.rate:
             return (
                 f"starved on {self.in_fifo.edge.name!r} "
-                f"(has {len(self.in_fifo)}, needs {self.rate})"
+                f"(has {len(self.in_fifo)}, needs {burst * self.rate})"
             )
         closed = [
             channel.edge.name
             for _, channel in self.branches
-            if not channel.flow.can_send()
+            if not channel.flow.can_send_n(burst)
         ]
         if closed:
             return "waiting for ack credit on " + ", ".join(
@@ -411,28 +553,44 @@ class SpiCollectiveSendTask:
         return None
 
     def wait_on(self, now: int) -> List[Waitset]:
+        burst = self.burst
         waitsets = []
-        if len(self.in_fifo) < self.rate:
+        if len(self.in_fifo) < burst * self.rate:
             waitsets.append(self.in_fifo.waitset)
         waitsets.extend(
             channel.space_waitset
             for _, channel in self.branches
-            if not channel.flow.can_send()
+            if not channel.flow.can_send_n(burst)
         )
         return waitsets
 
     def start(self, now: int) -> int:
-        tokens = self.in_fifo.pop(self.rate)
-        for _, channel in self.branches:
-            channel.on_send()
-        self._staged = tokens
-        return self.actor.execution_cycles(self.firing_index, {"in": tokens})
+        burst = self.burst
+        staged: List[List] = []
+        native: List[int] = []
+        for i in range(burst):
+            tokens = self.in_fifo.pop(self.rate)
+            for _, channel in self.branches:
+                channel.on_send()
+            staged.append(tokens)
+            native.append(
+                self.actor.execution_cycles(
+                    self.firing_index + i, {"in": tokens}
+                )
+            )
+        self._staged = staged
+        return self._charge(native)
 
     def finish(self, now: int) -> None:
         assert self._staged is not None
-        tokens = self._staged
+        staged = self._staged
         self._staged = None
-        self.firing_index += 1
+        self._advance_pass()
+        for tokens in staged:
+            self.firing_index += 1
+            self._launch(now, tokens)
+
+    def _launch(self, now: int, tokens: List) -> None:
         connection = self.connection
         for fifo in self.local_branches:
             fifo.push(connection.produced_tokens(fifo.edge, tokens))
@@ -659,7 +817,7 @@ class SyncedTask:
         self._count += 1
 
 
-class SpiReceiveTask:
+class SpiReceiveTask(_BatchedTaskMixin):
     """SPI_receive: decodes one arrived message into the consumer FIFO.
 
     For UBS channels with acknowledgments enabled, completion also
@@ -667,6 +825,10 @@ class SpiReceiveTask:
     separate messages", paper §4.1); resynchronization may have disabled
     it (``channel.flow.uses_credits`` false), in which case the message
     never exists — that is the optimization the ablation bench measures.
+
+    A batched dispatch waits for the whole burst of messages, then
+    decodes them in arrival order and acknowledges each one separately —
+    message and ack counts match sequential execution exactly.
     """
 
     def __init__(
@@ -677,6 +839,9 @@ class SpiReceiveTask:
         sim: Simulator,
         interconnect: Interconnect,
         observer=None,
+        batch_counts: Optional[Sequence[int]] = None,
+        pe_class: PEClass = GPP,
+        pe: Optional[ProcessingElement] = None,
     ) -> None:
         self.actor = actor
         self.name = f"{actor.name}"
@@ -686,15 +851,18 @@ class SpiReceiveTask:
         self.interconnect = interconnect
         self.observer = observer
         self.firing_index = 0
+        self._init_batch(batch_counts, pe_class, pe)
 
     def ready(self, now: int) -> bool:
-        return self.channel.receive_ready()
+        return self.channel.receive_ready_n(self.burst)
 
     def blocked_reason(self, now: int) -> Optional[str]:
         """Why this receive cannot start (None when it can)."""
-        if not self.channel.receive_ready():
+        burst = self.burst
+        if not self.channel.receive_ready_n(burst):
+            need = f" {burst} messages" if burst > 1 else " a message"
             return (
-                f"waiting for a message on channel "
+                f"waiting for{need} on channel "
                 f"{self.channel.edge.name!r}"
             )
         return None
@@ -704,11 +872,22 @@ class SpiReceiveTask:
         return [self.channel.data_waitset]
 
     def start(self, now: int) -> int:
-        # The message is consumed at completion; duration models header
+        # The messages are consumed at completion; duration models header
         # decode plus payload copy into the consumer-side buffer.
-        return self.actor.execution_cycles(self.firing_index, {})
+        burst = self.burst
+        native = [
+            self.actor.execution_cycles(self.firing_index + i, {})
+            for i in range(burst)
+        ]
+        return self._charge(native)
 
     def finish(self, now: int) -> None:
+        burst = self.burst
+        self._advance_pass()
+        for _ in range(burst):
+            self._accept_one(now)
+
+    def _accept_one(self, now: int) -> None:
         message = self.channel.accept()
         self.firing_index += 1
         if message.is_dynamic and message.size_field != len(message.payload):

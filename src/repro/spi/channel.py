@@ -117,6 +117,12 @@ class SpiChannel:
         """SPI_receive guard: a message is waiting."""
         return bool(self.arrived)
 
+    def receive_ready_n(self, n: int) -> bool:
+        """Batched SPI_receive guard: the whole burst has arrived."""
+        if n < 1:
+            raise ValueError("burst size must be >= 1")
+        return len(self.arrived) >= n
+
     def accept(self) -> Message:
         """SPI_receive consumes one message, freeing its buffer bytes."""
         if not self.arrived:

@@ -83,6 +83,14 @@ class ChannelFlowControl:
             return True
         return self._credits > 0
 
+    def can_send_n(self, n: int) -> bool:
+        """Window room for a burst of ``n`` sends (batched dispatch)."""
+        if n < 1:
+            raise ValueError("burst size must be >= 1")
+        if not self.uses_credits:
+            return True
+        return self._credits >= n
+
     def on_send(self) -> None:
         self.sends += 1
         if self.uses_credits:

@@ -30,7 +30,11 @@ from repro.mapping.ipc_graph import build_ipc_graph
 from repro.mapping.mcm import maximum_cycle_mean
 from repro.mapping.partition import Partition
 from repro.mapping.resync import ResynchronizationResult, resynchronize
-from repro.mapping.selftimed import SelfTimedSchedule, build_selftimed_schedule
+from repro.mapping.selftimed import (
+    SelfTimedSchedule,
+    build_selftimed_schedule,
+    max_feasible_batch,
+)
 from repro.mapping.sync_graph import SynchronizationGraph, derive_sync_graph
 from repro.mapping.timed_graph import EdgeKind, TimedEdge
 from repro.platform.clock import DEFAULT_CLOCK, ClockDomain
@@ -46,6 +50,7 @@ from repro.platform.simulator import PESequencer, Simulator
 from repro.platform.trace import TraceRecorder
 from repro.spi import resources as spi_resources
 from repro.spi.actors import (
+    BatchSchedule,
     ComputationTask,
     LocalFifo,
     SpiCollectiveSendTask,
@@ -167,6 +172,14 @@ class RunResult:
     #: logical bytes (sum over consumers) minus wire bytes actually
     #: carried — the saving from sharing one payload per link
     wire_bytes_saved: int = 0
+    #: effective global blocking factor of the run (1 = unbatched)
+    batch: int = 1
+    #: actor firings executed inside batched (burst > 1) dispatches
+    batched_firings: int = 0
+    #: batched dispatches issued across all PEs
+    batch_dispatches: int = 0
+    #: accelerator launch overhead amortized away by batching
+    amortized_dispatch_cycles_saved: int = 0
 
     @property
     def steady_state_detected_at(self) -> Optional[int]:
@@ -234,6 +247,7 @@ class SpiSystem:
         cache=None,
         analysis_key: Optional[str] = None,
         structure_key: Optional[str] = None,
+        batch: int = 1,
     ) -> None:
         self.source_graph = source_graph
         self.partition = partition
@@ -244,6 +258,9 @@ class SpiSystem:
         self.sync_graph = sync_graph
         self.channel_plans = channel_plans
         self.resync_result = resync_result
+        #: effective global blocking factor: the partition's requested
+        #: batch clamped to what the schedule's token dependencies admit
+        self.batch = batch
         #: optional repro.service AnalysisCache (duck-typed: anything
         #: with the same repetitions/mcm/resynchronize surface works)
         self._analysis_cache = cache
@@ -286,7 +303,11 @@ class SpiSystem:
             static_graph = conversion.graph
 
         static_partition = Partition(
-            static_graph, partition.n_pes, dict(partition.assignment)
+            static_graph,
+            partition.n_pes,
+            dict(partition.assignment),
+            pe_classes=dict(partition.pe_classes),
+            batch_size=partition.batch_size,
         )
         insertion = insert_spi_actors(
             static_graph,
@@ -298,11 +319,22 @@ class SpiSystem:
         ipc_graph = build_ipc_graph(schedule)
         sync_graph = derive_sync_graph(ipc_graph)
 
+        # Blocked (batched) execution: the partition's requested batch
+        # (a no-op on all-gpp platforms) clamped to the largest blocking
+        # factor the schedule's token dependencies admit — a feedback
+        # loop with few delay tokens forces the clamp back to 1.
+        batch = max_feasible_batch(schedule, partition.requested_batch)
+
         decisions = None
         if cache is not None:
             decisions = cache.channel_decisions(analysis_key)
         channel_plans = cls._plan_channels(
-            insertion, schedule, sync_graph, config, decisions=decisions
+            insertion,
+            schedule,
+            sync_graph,
+            config,
+            decisions=decisions,
+            batch=batch,
         )
 
         # UBS channels synchronize backwards through ack edges; add them to
@@ -313,8 +345,14 @@ class SpiSystem:
         # iteration-granularity edge — any delay large enough to be
         # implied by the ack protocol is too large to safely license its
         # removal.  Those channels simply keep their acks.
+        # A batched run macro-groups every PE's task executions, so the
+        # iteration-granularity sync edges below (and the resync solver
+        # that judges them) would misprice the burst: acks stay as the
+        # protocol chose them and resynchronization is skipped entirely.
         judged_acks = set()
         for plan in channel_plans.values():
+            if batch > 1:
+                break
             if plan.protocol != Protocol.UBS:
                 continue
             if cls._messages_per_iteration(schedule, plan.send_actor) != 1:
@@ -332,7 +370,7 @@ class SpiSystem:
             judged_acks.add(plan.origin_edge_name)
 
         resync_result: Optional[ResynchronizationResult] = None
-        if config.resynchronize:
+        if config.resynchronize and batch == 1:
             if cache is not None:
                 resync_result = cache.resynchronize(analysis_key, sync_graph)
             else:
@@ -368,6 +406,7 @@ class SpiSystem:
             cache=cache,
             analysis_key=analysis_key,
             structure_key=structure_key,
+            batch=batch,
         )
 
     @staticmethod
@@ -408,6 +447,7 @@ class SpiSystem:
         sync_graph: SynchronizationGraph,
         config: SpiConfig,
         decisions: Optional[Dict[str, Dict[str, object]]] = None,
+        batch: int = 1,
     ) -> Dict[str, ChannelPlan]:
         """Select protocol and capacity for every interprocessor edge.
 
@@ -422,6 +462,12 @@ class SpiSystem:
         ``decisions`` replays previously cached per-channel decisions,
         skipping the all-pairs min-delay analysis entirely; channels
         missing from it (stale entry) fall back to the computed path.
+
+        ``batch`` is the effective global blocking factor: a batched
+        sender emits its whole burst before the receiver's batched
+        accept frees a single slot, so every per-iteration term of the
+        BBS bound scales by ``batch`` and the UBS ack window must admit
+        at least one full burst.
         """
         rho: Optional[Dict[str, Dict[str, int]]] = (
             None if decisions is not None else sync_graph.min_delay_paths()
@@ -474,7 +520,7 @@ class SpiSystem:
                 config.protocol_policy == "auto"
                 and feedback is not None
                 and 0
-                < msgs_per_iter * (feedback + 1) + delay_msgs
+                < batch * msgs_per_iter * (feedback + 1) + delay_msgs
                 <= config.max_bbs_messages
             ):
                 # Sync-graph delays count *iterations* between the #0
@@ -488,11 +534,11 @@ class SpiSystem:
                 # slot); for single-rate channels the formula reduces to
                 # the familiar feedback + delay + 1.
                 protocol = Protocol.BBS
-                capacity = msgs_per_iter * (feedback + 1) + delay_msgs
+                capacity = batch * msgs_per_iter * (feedback + 1) + delay_msgs
                 acks = False
             else:
                 protocol = Protocol.UBS
-                capacity = config.ubs_window
+                capacity = max(config.ubs_window, batch * msgs_per_iter)
                 acks = True
             plans[origin_name] = ChannelPlan(
                 origin_edge_name=origin_name,
@@ -575,6 +621,12 @@ class SpiSystem:
                     "steady_state='on' cannot produce a full trace "
                     "(extrapolated iterations record no task intervals)"
                 )
+            if self.batch > 1:
+                raise GraphError(
+                    "steady_state='on' is incompatible with batched "
+                    "execution (the tracker's kernel-state recurrence "
+                    "is keyed to single-iteration passes)"
+                )
             opaque = self.steady_state_opaque_actors()
             if opaque:
                 raise GraphError(
@@ -586,6 +638,7 @@ class SpiSystem:
         elif steady_state == "auto":
             arm_steady = (
                 not trace
+                and self.batch == 1
                 and iterations >= 3
                 and not self.steady_state_opaque_actors()
             )
@@ -614,11 +667,13 @@ class SpiSystem:
                 if plan.protocol == Protocol.UBS
                 else False,
             )
-            # One extra message of physical slack: a message may arrive
-            # while SPI_receive is still processing its predecessor (the
-            # predecessor's bytes are freed only at completion).
+            # One burst of physical slack: messages may arrive while
+            # SPI_receive is still processing its predecessors (a
+            # batched receive frees its bytes only at completion, so up
+            # to ``batch`` messages are in process at once; batch is 1
+            # for unbatched runs).
             capacity_bytes = (
-                plan.capacity_messages + 1
+                plan.capacity_messages + self.batch
             ) * plan.message_payload_bytes
             channels[plan.origin_edge_name] = SpiChannel(
                 edge=plan.ipc_edge,
@@ -659,9 +714,33 @@ class SpiSystem:
 
             compiled_stats = CompiledStats()
 
+        # Blocked-schedule plumbing: every task on every PE runs the
+        # same per-macro-pass burst counts (lockstep), and the PE
+        # objects must exist before their tasks so batched dispatches
+        # can be accounted to the owning PE.
+        batch_counts: Optional[List[int]] = None
+        passes = iterations
+        if self.batch > 1:
+            batch_schedule = BatchSchedule(iterations, self.batch)
+            batch_counts = batch_schedule.counts
+            passes = batch_schedule.passes
+        pe_objects: Dict[int, ProcessingElement] = {
+            pe_index: ProcessingElement(
+                pe_index, pe_class=self.partition.pe_class_of(pe_index)
+            )
+            for pe_index in range(self.partition.n_pes)
+        }
+        pe_assignment = self.insertion.partition.assignment
+
         def task_for(actor: Actor):
             if actor.name in tasks_by_actor:
                 return tasks_by_actor[actor.name]
+            owner = pe_objects[pe_assignment[actor.name]]
+            batch_kwargs = dict(
+                batch_counts=batch_counts,
+                pe_class=owner.pe_class,
+                pe=owner,
+            )
             if actor.name in collective_groups:
                 group = collective_groups[actor.name]
                 in_edge = graph.in_edges(actor)[0]
@@ -684,6 +763,7 @@ class SpiSystem:
                     transport=transport,
                     observer=hub,
                     group_key=f"{group.name}.collective",
+                    **batch_kwargs,
                 )
             elif actor.name in send_plans:
                 plan = send_plans[actor.name]
@@ -696,6 +776,7 @@ class SpiSystem:
                     interconnect,
                     transport=transport,
                     observer=hub,
+                    **batch_kwargs,
                 )
             elif actor.name in recv_plans:
                 plan = recv_plans[actor.name]
@@ -707,6 +788,7 @@ class SpiSystem:
                     sim,
                     interconnect,
                     observer=hub,
+                    **batch_kwargs,
                 )
             else:
                 # A port may own several member fifos (gather/reduce
@@ -725,10 +807,16 @@ class SpiSystem:
                         )
                 if compiled_stats is not None:
                     task = CompiledFiring(
-                        actor, inputs, outputs, stats=compiled_stats
+                        actor,
+                        inputs,
+                        outputs,
+                        stats=compiled_stats,
+                        **batch_kwargs,
                     )
                 else:
-                    task = ComputationTask(actor, inputs, outputs)
+                    task = ComputationTask(
+                        actor, inputs, outputs, **batch_kwargs
+                    )
             tasks_by_actor[actor.name] = task
             return task
 
@@ -777,15 +865,27 @@ class SpiSystem:
             entries = script.get(pe_index, [])
             if not entries:
                 continue
-            pe = ProcessingElement(pe_index)
+            pe = pe_objects[pe_index]
             program: List[object] = [SpiInitTask(pe_index)]
             for _task_name, origin in entries:
                 program.append(task_for(graph.get_actor(origin)))
             sequencer = PESequencer(
-                sim, pe, program, iterations, trace=recorder
+                sim, pe, program, passes, trace=recorder
             )
             pes.append(pe)
             sequencers.append(sequencer)
+
+        if batch_counts is not None:
+            # An actor with repetitions > 1 occupies several program
+            # entries; its pass cursor must advance only after the last
+            # one, so every entry of a macro-pass runs the same burst.
+            for sequencer in sequencers:
+                entry_counts: Dict[int, int] = {}
+                for task in sequencer.program:
+                    entry_counts[id(task)] = entry_counts.get(id(task), 0) + 1
+                for task in sequencer.program:
+                    if hasattr(task, "occurrences"):
+                        task.occurrences = entry_counts[id(task)]
 
         tracker = None
         if arm_steady and sequencers:
@@ -836,7 +936,7 @@ class SpiSystem:
             fifo.edge.name: fifo.high_water for fifo in fifos.values()
         }
 
-        if iterations >= 4 and sequencers:
+        if iterations >= 4 and sequencers and self.batch == 1:
             # Under a warp the simulated finish of the last (reduced)
             # iteration is the true finish of iteration ``iterations``
             # minus the extrapolated cycles, and ``finish_times[1]``
@@ -846,6 +946,9 @@ class SpiSystem:
             times = sequencers[0].finish_times
             period = (times[-1] + extra_cycles - times[1]) / (iterations - 2)
         else:
+            # batched runs finish in macro-passes, not iterations, so
+            # the per-iteration finish-time reconstruction above does
+            # not apply — report the plain average
             period = total_cycles / iterations
 
         result = RunResult(
@@ -874,6 +977,12 @@ class SpiSystem:
             collective_messages=getattr(transport, "collective_messages", 0),
             fan_out_deliveries=getattr(transport, "fan_out_deliveries", 0),
             wire_bytes_saved=getattr(transport, "wire_bytes_saved", 0),
+            batch=self.batch,
+            batched_firings=sum(pe.batched_firings for pe in pes),
+            batch_dispatches=sum(pe.batch_dispatches for pe in pes),
+            amortized_dispatch_cycles_saved=sum(
+                pe.amortized_dispatch_cycles_saved for pe in pes
+            ),
         )
         if hub is not None:
             from repro.observability import (
@@ -1288,6 +1397,22 @@ class SpiSystem:
             lines.append(
                 f"VTS conversion: {converted} dynamic edge(s) converted "
                 f"to packed-token form"
+            )
+        if self.partition.has_accelerators or self.batch > 1:
+            accel = sorted(
+                pe
+                for pe in range(self.partition.n_pes)
+                if self.partition.pe_class_of(pe).is_accelerator
+            )
+            lines.append(
+                f"heterogeneous platform: accelerator PE(s) "
+                f"{accel if accel else 'none'}, blocking factor "
+                f"{self.batch}"
+                + (
+                    f" (requested {self.partition.requested_batch})"
+                    if self.batch != self.partition.requested_batch
+                    else ""
+                )
             )
         lines.append("self-timed schedule:")
         for pe in sorted(self.schedule.orders):

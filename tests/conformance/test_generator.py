@@ -83,3 +83,38 @@ class TestShapeParsing:
             GraphShape(dynamic_prob=1.5)
         with pytest.raises(ValueError):
             GraphShape(max_pes=0)
+
+
+class TestBatchKnob:
+    def test_default_draws_no_batch(self):
+        for seed in range(15):
+            spec = generate_spec(seed)
+            assert spec.batch == 1
+            assert spec.accelerators == ()
+
+    def test_batch_draw_is_rng_stream_appended(self):
+        # the batch draw happens after every other draw, so enabling
+        # the knob must leave the rest of the spec untouched — the
+        # campaign's seed -> graph mapping stays stable
+        from dataclasses import replace
+
+        for seed in range(15):
+            batched = generate_spec(seed, GraphShape(batch_prob=1.0))
+            assert replace(
+                batched, batch=1, accelerators=()
+            ) == generate_spec(seed)
+
+    def test_batched_spec_shape(self):
+        shape = GraphShape(batch_prob=1.0, max_batch=5)
+        for seed in range(15):
+            spec = generate_spec(seed, shape)
+            assert 2 <= spec.batch <= 5
+            assert spec.accelerators  # at least one accelerator PE
+            assert spec.accelerators == tuple(sorted(set(spec.accelerators)))
+            assert all(0 <= pe < spec.n_pes for pe in spec.accelerators)
+
+    def test_batch_knob_validation(self):
+        with pytest.raises(ValueError):
+            GraphShape(batch_prob=1.5)
+        with pytest.raises(ValueError):
+            GraphShape(max_batch=1)

@@ -146,3 +146,73 @@ class TestKernels:
         assert case.tap.streams("first")["a0"]
         assert case.tap.streams("second") == {}
         assert set(case.tap.runs) == {"first", "second"}
+
+
+class TestBatchFields:
+    def test_defaults(self):
+        spec = two_actor_spec()
+        assert spec.batch == 1
+        assert spec.accelerators == ()
+
+    def test_rejects_bad_batch(self):
+        edge = EdgeSpec(src="a0", snk="a1")
+        with pytest.raises(SpecError, match="batch"):
+            GraphSpec(
+                seed=1,
+                actors=(ActorSpec("a0", 2, 5), ActorSpec("a1", 3, 7)),
+                edges=(edge,),
+                n_pes=2,
+                assignment=(("a0", 0), ("a1", 1)),
+                batch=0,
+            )
+
+    def test_rejects_bad_accelerators(self):
+        edge = EdgeSpec(src="a0", snk="a1")
+
+        def make(accelerators):
+            return GraphSpec(
+                seed=1,
+                actors=(ActorSpec("a0", 2, 5), ActorSpec("a1", 3, 7)),
+                edges=(edge,),
+                n_pes=2,
+                assignment=(("a0", 0), ("a1", 1)),
+                accelerators=accelerators,
+            )
+
+        with pytest.raises(SpecError):
+            make((2,))  # out of range
+        with pytest.raises(SpecError):
+            make((0, 0))  # duplicate
+
+    def test_json_roundtrip_with_batch(self):
+        edge = EdgeSpec(src="a0", snk="a1")
+        spec = GraphSpec(
+            seed=1,
+            actors=(ActorSpec("a0", 2, 5), ActorSpec("a1", 3, 7)),
+            edges=(edge,),
+            n_pes=2,
+            assignment=(("a0", 0), ("a1", 1)),
+            batch=4,
+            accelerators=(0, 1),
+        )
+        assert GraphSpec.from_json(spec.to_json()) == spec
+
+    def test_legacy_documents_default_unbatched(self):
+        # pre-batching campaign corpora have neither key: they must
+        # load as unbatched all-gpp specs, not raise
+        document = two_actor_spec().to_json()
+        document.pop("batch")
+        document.pop("accelerators")
+        loaded = GraphSpec.from_json(document)
+        assert loaded.batch == 1
+        assert loaded.accelerators == ()
+
+    def test_accelerated_case_compiles_with_batch(self):
+        from dataclasses import replace
+
+        spec = replace(
+            two_actor_spec(), batch=3, accelerators=(0, 1)
+        )
+        case = build_case(spec)
+        assert case.partition.requested_batch == 3
+        assert case.partition.has_accelerators

@@ -24,6 +24,17 @@ class TestLinkSpec:
         with pytest.raises(ValueError):
             LinkSpec().transfer_cycles(-1)
 
+    def test_negative_setup_cycles_pinned(self):
+        # Regression pin: a dataclass field default change or a
+        # refactor of __post_init__ must not drop this validation —
+        # a negative setup time silently *subtracts* cycles from every
+        # transfer, which the cost model would never flag on its own.
+        with pytest.raises(ValueError, match="setup_cycles must be >= 0"):
+            LinkSpec(setup_cycles=-1)
+        # the per-pair override path builds LinkSpec too: same guard
+        with pytest.raises(ValueError, match="setup_cycles must be >= 0"):
+            Interconnect(overrides={(0, 1): LinkSpec(setup_cycles=-3)})
+
     def test_zero_latency_link(self):
         # cycles_per_word=0 expresses the ideal link of the kernel
         # micro-benchmarks: every transfer completes in setup time only.

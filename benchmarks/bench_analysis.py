@@ -1,0 +1,292 @@
+"""Cold-analysis wall-clock: the array-backed engine vs the legacy one.
+
+The workload is the cold-cache compile pipeline every *distinct* graph
+pays (paper §3/§4): HSDF expansion, self-timed scheduling, IPC/sync
+graph derivation, resynchronization, and the MCM bound.  Two fuzzer
+cases are measured end to end and per stage:
+
+* **large_rep** — conformance graphs whose repetition-vector magnitude
+  is cranked up (``max_repetition=12``); token enumeration and repeated
+  Bellman–Ford probes dominate the legacy engine here;
+* **resync_heavy** — dense many-PE graphs (``max_pes=4``, high extra
+  edge probability) where the legacy resynchronizer's per-candidate
+  full MCM and per-removal Floyd–Warshall dominate.  This is the
+  *contended analysis case* gated in quick mode.
+
+Both engines run in-process: the legacy stack is selected per call via
+``algorithm=`` / ``method=`` / ``engine=`` / ``incremental=`` switches,
+and end to end via ``REPRO_ANALYSIS_ENGINE=legacy``.  A 50-seed
+Howard-vs-Lawler equivalence campaign rides along so the committed
+baseline records bit-compatible verdicts, not just speed.
+
+``BENCH_analysis.json`` records per-case and per-stage wall clocks and
+speedups; ``check_analysis_regression.py`` gates CI on the speedup
+floors; ``analysis_stages.csv`` is the per-stage artifact CI uploads.
+"""
+
+import math
+import os
+import time
+
+import pytest
+
+from conftest import QUICK, RESULTS_DIR, emit, save_bench_json
+
+from repro.conformance.generator import GraphShape, generate_spec
+from repro.conformance.spec import build_case
+from repro.dataflow.hsdf import hsdf_expand
+from repro.mapping import (
+    maximum_cycle_mean,
+    maximum_cycle_mean_result,
+    resynchronize,
+    simulate_selftimed,
+)
+from repro.spi import SpiConfig, SpiSystem
+
+#: end-to-end cold compiles per case (each on a distinct seed)
+COMPILE_SEEDS = 3 if QUICK else 8
+#: per-stage timing repeats (best-of to shed scheduler noise)
+REPEATS = 2 if QUICK else 4
+#: Howard-vs-Lawler verdict campaign size (acceptance: 50 in full mode)
+EQUIVALENCE_SEEDS = 15 if QUICK else 50
+
+CASES = {
+    "large_rep": GraphShape(
+        min_actors=7,
+        max_actors=10,
+        max_repetition=12,
+        max_rate_factor=2,
+        extra_edge_prob=0.5,
+        feedback_prob=1.0,
+        delay_prob=0.4,
+        dynamic_prob=0.0,
+        max_pes=3,
+    ),
+    "resync_heavy": GraphShape(
+        min_actors=9,
+        max_actors=12,
+        max_repetition=3,
+        extra_edge_prob=0.9,
+        feedback_prob=1.0,
+        delay_prob=0.6,
+        dynamic_prob=0.0,
+        max_pes=4,
+    ),
+}
+
+
+def _cases(name, count, start=0):
+    shape = CASES[name]
+    return [
+        build_case(generate_spec(1000 + start + i, shape))
+        for i in range(count)
+    ]
+
+
+def _best_of(repeats, fn, legacy=False):
+    """Best-of wall clock; ``legacy`` selects the legacy engine for any
+    nested analysis calls (e.g. the MCM probes inside resynchronize)."""
+    if legacy:
+        os.environ["REPRO_ANALYSIS_ENGINE"] = "legacy"
+    try:
+        best = math.inf
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+    finally:
+        os.environ.pop("REPRO_ANALYSIS_ENGINE", None)
+
+
+def _compile_cold(case):
+    system = SpiSystem.compile(case.graph, case.partition, SpiConfig())
+    system.mcm_result()  # the bound every campaign run reads
+    return system
+
+
+def _end_to_end(cases, legacy):
+    """Total cold-analysis wall across the case list, one engine."""
+    if legacy:
+        os.environ["REPRO_ANALYSIS_ENGINE"] = "legacy"
+    else:
+        os.environ.pop("REPRO_ANALYSIS_ENGINE", None)
+    try:
+        started = time.perf_counter()
+        for case in cases:
+            _compile_cold(case)
+        return time.perf_counter() - started
+    finally:
+        os.environ.pop("REPRO_ANALYSIS_ENGINE", None)
+
+
+def _stage_times(case):
+    """Best-of wall clock per pipeline stage, legacy vs fast."""
+    system = _compile_cold(case)
+    reference = (
+        system.resync_result.graph
+        if system.resync_result is not None
+        else system.sync_graph
+    )
+    sync = system.sync_graph
+    stages = {
+        "hsdf_expand": (
+            lambda: hsdf_expand(case.graph, method="enumerate"),
+            lambda: hsdf_expand(case.graph, method="closed_form"),
+        ),
+        "mcm": (
+            lambda: maximum_cycle_mean(reference, algorithm="lawler"),
+            lambda: maximum_cycle_mean(reference, algorithm="howard"),
+        ),
+        "resync": (
+            lambda: resynchronize(sync, incremental=False),
+            lambda: resynchronize(sync, incremental=True),
+        ),
+        # the shipped default is "auto": vectorized above the ~500-vertex
+        # numpy crossover, python below — so it never loses to legacy
+        "simulate": (
+            lambda: simulate_selftimed(reference, 30, engine="python"),
+            lambda: simulate_selftimed(reference, 30, engine="auto"),
+        ),
+    }
+    rows = {}
+    for stage, (legacy_fn, fast_fn) in stages.items():
+        legacy = _best_of(REPEATS, legacy_fn, legacy=True)
+        fast = _best_of(REPEATS, fast_fn)
+        rows[stage] = {
+            "legacy_seconds": legacy,
+            "fast_seconds": fast,
+            "speedup": legacy / fast if fast > 0 else 0.0,
+        }
+    return rows
+
+
+def _equivalence_campaign():
+    """Howard vs Lawler verdicts on the conformance population."""
+    shapes = [
+        GraphShape(),
+        GraphShape(collective_prob=0.9, max_pes=3),
+        GraphShape(batch_prob=0.9, max_batch=4, max_pes=3),
+    ]
+    agreements = 0
+    for index in range(EQUIVALENCE_SEEDS):
+        case = build_case(
+            generate_spec(index, shapes[index % len(shapes)])
+        )
+        system = SpiSystem.compile(case.graph, case.partition, SpiConfig())
+        reference = (
+            system.resync_result.graph
+            if system.resync_result is not None
+            else system.sync_graph
+        )
+        howard = maximum_cycle_mean_result(reference, algorithm="howard")
+        lawler = maximum_cycle_mean(reference, algorithm="lawler")
+        if math.isinf(lawler):
+            agreements += math.isinf(howard.value)
+        else:
+            agreements += math.isclose(
+                howard.value, lawler, rel_tol=1e-5, abs_tol=1e-5
+            )
+    return {"seeds": EQUIVALENCE_SEEDS, "agreements": agreements}
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    results = {}
+    for name in CASES:
+        cases = _cases(name, COMPILE_SEEDS)
+        # interleave engines per repeat so drift hits both equally
+        legacy = min(
+            _end_to_end(cases, legacy=True) for _ in range(REPEATS)
+        )
+        fast = min(
+            _end_to_end(cases, legacy=False) for _ in range(REPEATS)
+        )
+        results[name] = {
+            "compiles": COMPILE_SEEDS,
+            "legacy_seconds": legacy,
+            "fast_seconds": fast,
+            "speedup": legacy / fast if fast > 0 else 0.0,
+            "stages": _stage_times(cases[0]),
+        }
+    return {"cases": results, "equivalence": _equivalence_campaign()}
+
+
+def _stage_csv(results):
+    lines = ["case,stage,legacy_seconds,fast_seconds,speedup"]
+    for name, case in sorted(results.items()):
+        lines.append(
+            f"{name},total,{case['legacy_seconds']:.4f},"
+            f"{case['fast_seconds']:.4f},{case['speedup']:.2f}"
+        )
+        for stage, row in sorted(case["stages"].items()):
+            lines.append(
+                f"{name},{stage},{row['legacy_seconds']:.4f},"
+                f"{row['fast_seconds']:.4f},{row['speedup']:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def test_analysis_report(analysis):
+    lines = []
+    for name, case in sorted(analysis["cases"].items()):
+        lines.append(
+            f"{name}: cold analysis x{case['compiles']} — legacy "
+            f"{case['legacy_seconds']:.3f}s, fast "
+            f"{case['fast_seconds']:.3f}s, {case['speedup']:.1f}x"
+        )
+        for stage, row in sorted(case["stages"].items()):
+            lines.append(
+                f"  {stage:<12} {row['legacy_seconds'] * 1e3:8.2f} ms -> "
+                f"{row['fast_seconds'] * 1e3:8.2f} ms  "
+                f"({row['speedup']:.1f}x)"
+            )
+    equivalence = analysis["equivalence"]
+    lines.append(
+        f"howard==lawler verdicts: {equivalence['agreements']}/"
+        f"{equivalence['seeds']} seeds"
+    )
+    emit("Cold-analysis wall clock (legacy vs array-backed engine)", "\n".join(lines))
+
+
+def test_analysis_verdicts_bit_compatible(analysis):
+    equivalence = analysis["equivalence"]
+    assert equivalence["agreements"] == equivalence["seeds"]
+
+
+def test_analysis_speedup_floors(analysis):
+    """Loose in-test floors; check_analysis_regression.py applies the
+    strict committed-baseline gates (5x large_rep / 2x resync_heavy
+    full mode, 2x contended quick mode)."""
+    floor = 1.5 if QUICK else 2.0
+    for name, case in analysis["cases"].items():
+        assert case["speedup"] >= floor, (
+            f"{name}: cold-analysis speedup {case['speedup']:.2f}x "
+            f"below {floor}x"
+        )
+
+
+def test_analysis_stage_csv(analysis):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "analysis_stages.csv"
+    path.write_text(_stage_csv(analysis["cases"]) + "\n")
+    assert path.exists()
+
+
+def test_analysis_bench_export(analysis):
+    wall = sum(
+        case["fast_seconds"] for case in analysis["cases"].values()
+    )
+    path = save_bench_json(
+        "analysis",
+        makespan_cycles=0,
+        iteration_period_cycles=0.0,
+        wall_seconds=wall,
+        extra={
+            "cases": analysis["cases"],
+            "equivalence": analysis["equivalence"],
+            "compile_seeds": COMPILE_SEEDS,
+            "repeats": REPEATS,
+        },
+    )
+    assert path.exists()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Gate the analysis benchmark against its committed baseline.
+
+Usage::
+
+    python benchmarks/check_analysis_regression.py BASELINE.json CURRENT.json
+
+Gates, strongest applicable wins:
+
+* **contended floor** (always) — the ``resync_heavy`` case (the
+  contended analysis case: dense many-PE sync graphs where the legacy
+  resynchronizer thrashes) must keep a >= 2x cold-analysis speedup.
+  The ratio is machine-independent (both engines run in the same
+  process on the same box), so it is the gate a quick CI run can apply
+  against the committed full-mode baseline.
+* **large-rep floor** (full-mode current only) — the
+  ``large_repetition-vector`` fuzzer case must keep its >= 5x
+  cold-analysis speedup (the ISSUE 10 acceptance bar).
+* **verdict equivalence** (always) — every seed of the Howard-vs-Lawler
+  campaign in the current document must agree; a single disagreement is
+  a correctness regression, not a perf one.
+* **per-case comparison** (same-mode runs only) — when baseline and
+  current were produced with the same ``quick`` flag, no case's
+  end-to-end speedup may regress by more than the tolerance.
+  Quick-vs-full pairs skip this (the win grows with graph size) and
+  rely on the floors.
+
+Exit status 0 = pass, 1 = regression, 2 = unusable input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: fraction of the baseline a case's speedup may lose before failing
+TOLERANCE = 0.25
+
+#: the contended (resync-heavy) case must keep this speedup in any mode
+CONTENDED_FLOOR = 2.0
+
+#: the large-repetition-vector case's full-mode acceptance floor
+LARGE_REP_FLOOR = 5.0
+
+
+def _load(path: str) -> dict:
+    document = json.loads(Path(path).read_text())
+    if (
+        document.get("schema") != "repro.bench/1"
+        or document.get("name") != "analysis"
+    ):
+        raise ValueError(f"{path}: not an analysis bench document")
+    return document
+
+
+def check(baseline: dict, current: dict) -> list:
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    cases = current["extra"]["cases"]
+
+    contended = cases.get("resync_heavy", {}).get("speedup", 0.0)
+    if contended < CONTENDED_FLOOR:
+        failures.append(
+            f"resync_heavy (contended) cold-analysis speedup "
+            f"{contended:.2f}x fell below the {CONTENDED_FLOOR:.1f}x floor"
+        )
+    if not current.get("quick"):
+        large = cases.get("large_rep", {}).get("speedup", 0.0)
+        if large < LARGE_REP_FLOOR:
+            failures.append(
+                f"large_rep cold-analysis speedup {large:.2f}x fell "
+                f"below the {LARGE_REP_FLOOR:.1f}x full-mode floor"
+            )
+
+    equivalence = current["extra"].get("equivalence", {})
+    seeds = equivalence.get("seeds", 0)
+    agreements = equivalence.get("agreements", -1)
+    if not seeds or agreements != seeds:
+        failures.append(
+            f"howard-vs-lawler verdicts disagree: {agreements}/{seeds} "
+            f"seeds (must be bit-compatible on every seed)"
+        )
+
+    if baseline.get("quick") == current.get("quick"):
+        base_cases = baseline["extra"]["cases"]
+        for name, base in sorted(base_cases.items()):
+            cur = cases.get(name)
+            if cur is None:
+                failures.append(f"case {name!r} missing from current run")
+                continue
+            if cur["speedup"] < base["speedup"] * (1.0 - TOLERANCE):
+                failures.append(
+                    f"{name}: cold-analysis speedup regressed "
+                    f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                    f"(> {TOLERANCE:.0%} loss)"
+                )
+    else:
+        print(
+            "note: baseline/current quick flags differ; per-case "
+            "comparison skipped (speedup floors still apply)"
+        )
+    return failures
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        baseline = _load(argv[1])
+        current = _load(argv[2])
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}")
+        return 2
+    failures = check(baseline, current)
+    if failures:
+        print("analysis benchmark regression:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    cases = current["extra"]["cases"]
+    summary = ", ".join(
+        f"{name} {case['speedup']:.1f}x" for name, case in sorted(cases.items())
+    )
+    equivalence = current["extra"]["equivalence"]
+    print(
+        f"analysis benchmark OK: {summary}; howard==lawler on "
+        f"{equivalence['agreements']}/{equivalence['seeds']} seeds"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

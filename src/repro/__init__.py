@@ -26,11 +26,13 @@ from repro.dataflow import (
 )
 from repro.dataflow.vts import PackedToken, VtsConversion
 from repro.mapping import (
+    McmResult,
     Partition,
     build_ipc_graph,
     build_selftimed_schedule,
     derive_sync_graph,
     maximum_cycle_mean,
+    maximum_cycle_mean_result,
     remove_redundant_synchronizations,
     resynchronize,
     simulate_selftimed,
@@ -63,11 +65,13 @@ __all__ = [
     "vts_convert",
     "PackedToken",
     "VtsConversion",
+    "McmResult",
     "Partition",
     "build_ipc_graph",
     "build_selftimed_schedule",
     "derive_sync_graph",
     "maximum_cycle_mean",
+    "maximum_cycle_mean_result",
     "remove_redundant_synchronizations",
     "resynchronize",
     "simulate_selftimed",

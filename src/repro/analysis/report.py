@@ -141,9 +141,15 @@ def render_metrics_summary(document: Dict) -> str:
         f"run: {run['cycles']} cycles, {run['iterations']} iteration(s), "
         f"period {run['iteration_period_cycles']:.1f} cycles "
         f"(MCM bound {run['mcm_bound_cycles']:.1f})",
-        "",
-        "processing elements:",
     ]
+    witness = run.get("critical_cycle") or {}
+    if witness.get("tasks"):
+        lines.append(
+            f"critical cycle: {' -> '.join(witness['tasks'])} "
+            f"({witness['total_cycles']} cycles / "
+            f"{witness['total_delay']} delay)"
+        )
+    lines.extend(["", "processing elements:"])
     pe_rows = []
     for pe in document["pes"]:
         blockers = pe["blocked_by_task"]

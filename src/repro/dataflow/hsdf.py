@@ -20,7 +20,8 @@ sufficiently late iteration.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
 from repro.dataflow.graph import DataflowGraph, GraphError
 from repro.dataflow.sdf import repetitions_vector
@@ -28,12 +29,72 @@ from repro.dataflow.sdf import repetitions_vector
 __all__ = ["hsdf_expand", "invocation_name"]
 
 
+def _legacy_engine() -> bool:
+    value = os.environ.get("REPRO_ANALYSIS_ENGINE", "")
+    return value.strip().lower() == "legacy"
+
+
+def _edge_dependencies_enumerate(
+    p: int, c: int, d: int, q_src: int, q_snk: int, m: int
+) -> Dict[Tuple[int, int], int]:
+    """Per-token enumeration of invocation dependencies (legacy)."""
+    deps: Dict[Tuple[int, int], int] = {}
+    for j in range(q_snk):
+        for offset in range(c):
+            t = (m * q_snk + j) * c + offset
+            producer_global = (t - d) // p
+            n, i = divmod(producer_global, q_src)
+            key = (i, j)
+            delta = m - n
+            if key not in deps or delta < deps[key]:
+                deps[key] = delta
+    return deps
+
+
+def _edge_dependencies_closed_form(
+    p: int, c: int, d: int, q_src: int, q_snk: int, m: int
+) -> Dict[Tuple[int, int], int]:
+    """Closed-form invocation dependencies, O(deps) instead of O(tokens).
+
+    Consumer invocation ``j`` of iteration ``m`` reads the token window
+    ``[a, a + c - 1]`` with ``a = (m*q_snk + j)*c``; its producer
+    *globals* are exactly ``g in [(a - d)//p, (a + c - 1 - d)//p]``
+    (each global ``g`` fires as invocation ``i = g mod q_src`` of
+    iteration ``n = g // q_src``, so the offset is ``delta = m - n``).
+    Per local invocation ``i`` the minimal offset comes from the largest
+    such ``g`` with that residue, and the top ``q_src``-length slice of
+    the range contains the largest occurrence of every residue present —
+    so scanning only that slice yields the same (i, min-delta) map as
+    enumerating all ``c`` tokens.  Which residues appear (and the
+    resulting delta pattern per ``j``) is governed by the gcd structure
+    of ``p`` and ``c`` (Sriram & Bhattacharyya), but it never needs to
+    be materialised token by token.
+    """
+    deps: Dict[Tuple[int, int], int] = {}
+    for j in range(q_snk):
+        a = (m * q_snk + j) * c
+        g_lo = (a - d) // p
+        g_hi = (a + c - 1 - d) // p
+        g_start = g_lo if g_hi - g_lo < q_src else g_hi - q_src + 1
+        for g in range(g_start, g_hi + 1):
+            n, i = divmod(g, q_src)
+            key = (i, j)
+            delta = m - n
+            if key not in deps or delta < deps[key]:
+                deps[key] = delta
+    return deps
+
+
 def invocation_name(actor_name: str, index: int) -> str:
     """Canonical name of invocation ``index`` of ``actor_name``."""
     return f"{actor_name}#{index}"
 
 
-def hsdf_expand(graph: DataflowGraph, name: str = "") -> DataflowGraph:
+def hsdf_expand(
+    graph: DataflowGraph,
+    name: str = "",
+    method: Optional[str] = None,
+) -> DataflowGraph:
     """Expand a consistent SDF graph into its homogeneous equivalent.
 
     Every port of the result has rate 1.  Invocation vertices inherit the
@@ -41,7 +102,21 @@ def hsdf_expand(graph: DataflowGraph, name: str = "") -> DataflowGraph:
     actor, evaluated at the invocation's local firing index).  Ports are
     synthesised per edge; the result is only meant for precedence/timing
     analysis, not functional execution.
+
+    ``method`` is ``"closed_form"`` (per-(i, j) dependency offsets in
+    O(deps), the default) or ``"enumerate"`` (the original per-token
+    loop, O(tokens)); ``None`` follows the ``REPRO_ANALYSIS_ENGINE``
+    environment default.  Both produce identical graphs.
     """
+    if method is None:
+        method = "enumerate" if _legacy_engine() else "closed_form"
+    if method not in ("closed_form", "enumerate"):
+        raise GraphError(f"unknown HSDF expansion method {method!r}")
+    dependencies = (
+        _edge_dependencies_closed_form
+        if method == "closed_form"
+        else _edge_dependencies_enumerate
+    )
     reps = repetitions_vector(graph)
     expanded = DataflowGraph(name or f"{graph.name}_hsdf")
 
@@ -79,21 +154,12 @@ def hsdf_expand(graph: DataflowGraph, name: str = "") -> DataflowGraph:
             )
         # Late enough that every consumed token has a producer.
         m = d // (q_snk * c) + 1
-        deps: Dict[Tuple[int, int], int] = {}
-        for j in range(q_snk):
-            for offset in range(c):
-                t = (m * q_snk + j) * c + offset
-                producer_global = (t - d) // p
-                n, i = divmod(producer_global, q_src)
-                delta = m - n
-                if delta < 0:
-                    raise GraphError(
-                        f"internal error: negative iteration offset on "
-                        f"edge {edge.name}"
-                    )
-                key = (i, j)
-                if key not in deps or delta < deps[key]:
-                    deps[key] = delta
+        deps = dependencies(p, c, d, q_src, q_snk, m)
+        if any(delta < 0 for delta in deps.values()):
+            raise GraphError(
+                f"internal error: negative iteration offset on "
+                f"edge {edge.name}"
+            )
         for (i, j), delta in sorted(deps.items()):
             src_inv = invocation_name(edge.src_actor.name, i)
             snk_inv = invocation_name(edge.snk_actor.name, j)

@@ -1,10 +1,13 @@
 """Multiprocessor mapping: partitioning, self-timed scheduling, IPC and
 synchronization graphs, resynchronization, and cycle-mean analysis."""
 
+from repro.mapping.graph_arrays import GraphArrays, MinDelayOracle
 from repro.mapping.ipc_graph import build_ipc_graph
 from repro.mapping.mcm import (
+    McmResult,
     SelfTimedTrace,
     maximum_cycle_mean,
+    maximum_cycle_mean_result,
     simulate_selftimed,
 )
 from repro.mapping.partition import Partition, static_levels
@@ -29,9 +32,13 @@ from repro.mapping.sync_graph import (
 from repro.mapping.timed_graph import EdgeKind, TimedEdge, TimedGraph, TimedVertex
 
 __all__ = [
+    "GraphArrays",
+    "MinDelayOracle",
     "build_ipc_graph",
+    "McmResult",
     "SelfTimedTrace",
     "maximum_cycle_mean",
+    "maximum_cycle_mean_result",
     "simulate_selftimed",
     "Partition",
     "static_levels",

@@ -123,9 +123,17 @@ class Partition:
         communication penalty — i.e. the throughput the self-timed
         implementation can reach.  Symmetry is broken by fixing the
         first actor on PE 0.
-        """
-        import itertools
 
+        The search walks candidates depth-first in the same order the
+        itertools.product enumeration used to, so the returned winner is
+        identical — but with the default cost the partition-independent
+        schedule setup (HSDF expansion, PASS) is computed once, and any
+        subtree whose partial assignment already carries a communication
+        penalty at or above the best known cost is pruned (the penalty
+        ``2 * cross_edges`` is a lower bound on the default cost because
+        the MCM term is non-negative and cross edges only accumulate as
+        the assignment extends).
+        """
         actors = [a.name for a in graph.topological_order()]
         if len(actors) > max_actors:
             raise GraphError(
@@ -133,25 +141,57 @@ class Partition:
                 f"PEs is too large (limit {max_actors})"
             )
 
-        def default_cost(candidate: "Partition") -> float:
+        prune = cost is None
+        if cost is None:
             from repro.mapping.ipc_graph import build_ipc_graph
             from repro.mapping.mcm import maximum_cycle_mean
-            from repro.mapping.selftimed import build_selftimed_schedule
+            from repro.mapping.selftimed import build_selftimed_schedule, task_plan
 
-            schedule = build_selftimed_schedule(graph, candidate)
-            ipc = build_ipc_graph(schedule)
-            penalty = 2.0 * len(candidate.interprocessor_edges())
-            return maximum_cycle_mean(ipc) + penalty
+            plan = task_plan(graph)
 
-        score = cost or default_cost
+            def default_cost(candidate: "Partition") -> float:
+                schedule = build_selftimed_schedule(graph, candidate, plan=plan)
+                ipc = build_ipc_graph(schedule)
+                penalty = 2.0 * len(candidate.interprocessor_edges())
+                return maximum_cycle_mean(ipc) + penalty
+
+            score: Callable[["Partition"], float] = default_cost
+        else:
+            score = cost
+
+        # Edges whose later-assigned endpoint is actor k (self-edges are
+        # never interprocessor, multi-edges count multiply, matching
+        # interprocessor_edges()).
+        index = {name: k for k, name in enumerate(actors)}
+        edges_closing_at: List[List[int]] = [[] for _ in actors]
+        for edge in graph.edges:
+            a = index[edge.src_actor.name]
+            b = index[edge.snk_actor.name]
+            if a != b:
+                edges_closing_at[max(a, b)].append(min(a, b))
+
         best: Optional["Partition"] = None
         best_cost = float("inf")
-        for tail in itertools.product(range(n_pes), repeat=len(actors) - 1):
-            assignment = dict(zip(actors, (0,) + tail))
-            candidate = cls(graph, n_pes, assignment)
-            value = score(candidate)
-            if value < best_cost:
-                best, best_cost = candidate, value
+        pe_of = [0] * len(actors)
+
+        def walk(k: int, cross: int) -> None:
+            nonlocal best, best_cost
+            if prune and 2.0 * cross >= best_cost:
+                return
+            if k == len(actors):
+                candidate = cls(graph, n_pes, dict(zip(actors, pe_of)))
+                value = score(candidate)
+                if value < best_cost:
+                    best, best_cost = candidate, value
+                return
+            for pe in (0,) if k == 0 else range(n_pes):
+                pe_of[k] = pe
+                added = sum(
+                    1 for other in edges_closing_at[k] if pe_of[other] != pe
+                )
+                walk(k + 1, cross + added)
+
+        walk(0, 0)
         assert best is not None
         return best
 

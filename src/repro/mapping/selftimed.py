@@ -11,7 +11,7 @@ so the orders are always admissible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dataflow.graph import DataflowGraph, GraphError
 from repro.dataflow.hsdf import hsdf_expand, invocation_name
@@ -20,6 +20,8 @@ from repro.mapping.partition import Partition
 
 __all__ = [
     "SelfTimedSchedule",
+    "TaskPlan",
+    "task_plan",
     "build_selftimed_schedule",
     "batch_is_admissible",
     "max_feasible_batch",
@@ -102,37 +104,71 @@ class SelfTimedSchedule:
             )
 
 
-def build_selftimed_schedule(
-    graph: DataflowGraph,
-    partition: Partition,
-) -> SelfTimedSchedule:
-    """Derive a self-timed schedule from a deterministic PASS.
+@dataclass(frozen=True)
+class TaskPlan:
+    """The partition-independent half of schedule construction.
 
-    Multirate graphs are HSDF-expanded first; each invocation inherits the
-    PE of its actor.  The per-PE order is the order in which the PASS
-    fires the invocations, which guarantees an admissible (deadlock-free)
-    self-timed execution given sufficient buffer space.
+    HSDF expansion and the deterministic PASS depend only on the
+    application graph, so callers that score many candidate partitions
+    of the *same* graph (``Partition.exhaustive``) compute the plan once
+    with :func:`task_plan` and pass it to every
+    :func:`build_selftimed_schedule` call.
     """
+
+    task_graph: DataflowGraph
+    task_sequence: Tuple[str, ...]
+    homogeneous: bool
+
+
+def task_plan(graph: DataflowGraph) -> TaskPlan:
+    """Expand (if multirate) and order the graph's tasks via the PASS."""
     reps = repetitions_vector(graph)
     homogeneous = all(count == 1 for count in reps.values()) and all(
         isinstance(p.rate, int) and p.rate == 1
         for a in graph.actors
         for p in a.ports
     )
+    pass_firings = build_pass(graph, repetitions=reps)
     if homogeneous:
         task_graph = graph
-        pass_firings = build_pass(graph, repetitions=reps)
-        task_sequence = [a.name for a in pass_firings]
-        task_pe = {a.name: partition.pe_of(a) for a in graph.actors}
+        task_sequence = tuple(a.name for a in pass_firings)
     else:
         task_graph = hsdf_expand(graph)
-        pass_firings = build_pass(graph, repetitions=reps)
         counters: Dict[str, int] = {}
-        task_sequence = []
+        names: List[str] = []
         for actor in pass_firings:
             k = counters.get(actor.name, 0)
             counters[actor.name] = k + 1
-            task_sequence.append(invocation_name(actor.name, k))
+            names.append(invocation_name(actor.name, k))
+        task_sequence = tuple(names)
+    return TaskPlan(
+        task_graph=task_graph,
+        task_sequence=task_sequence,
+        homogeneous=homogeneous,
+    )
+
+
+def build_selftimed_schedule(
+    graph: DataflowGraph,
+    partition: Partition,
+    plan: Optional[TaskPlan] = None,
+) -> SelfTimedSchedule:
+    """Derive a self-timed schedule from a deterministic PASS.
+
+    Multirate graphs are HSDF-expanded first; each invocation inherits the
+    PE of its actor.  The per-PE order is the order in which the PASS
+    fires the invocations, which guarantees an admissible (deadlock-free)
+    self-timed execution given sufficient buffer space.  ``plan`` may
+    carry the precomputed partition-independent work (see
+    :func:`task_plan`).
+    """
+    if plan is None:
+        plan = task_plan(graph)
+    task_graph = plan.task_graph
+    task_sequence = plan.task_sequence
+    if plan.homogeneous:
+        task_pe = {a.name: partition.pe_of(a) for a in graph.actors}
+    else:
         task_pe = {
             t.name: partition.assignment[t.params["origin"]]
             for t in task_graph.actors

@@ -86,6 +86,7 @@ class TimedGraph:
         self.name = name
         self._vertices: Dict[str, TimedVertex] = {}
         self._edges: List[TimedEdge] = []
+        self._min_delay_cache: Optional[Dict[str, Dict[str, int]]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -93,6 +94,7 @@ class TimedGraph:
         if vertex.name in self._vertices:
             raise ValueError(f"duplicate task name {vertex.name!r}")
         self._vertices[vertex.name] = vertex
+        self._min_delay_cache = None
         return vertex
 
     def add_edge(self, edge: TimedEdge) -> TimedEdge:
@@ -100,6 +102,7 @@ class TimedGraph:
             if endpoint not in self._vertices:
                 raise ValueError(f"edge endpoint {endpoint!r} is not a task")
         self._edges.append(edge)
+        self._min_delay_cache = None
         return edge
 
     def remove_edge(self, edge: TimedEdge) -> None:
@@ -109,6 +112,7 @@ class TimedGraph:
             raise ValueError(
                 f"edge {edge.src}->{edge.snk} (uid {edge.uid}) not in graph"
             ) from None
+        self._min_delay_cache = None
 
     # -- accessors ------------------------------------------------------------
 
@@ -165,7 +169,13 @@ class TimedGraph:
         ``u -> v``; missing entries mean "no path".  ``result[u][u]`` is 0
         (empty path) — callers that need cycles must go through an
         explicit outgoing edge first.
+
+        The table is memoized; any mutation (``add_vertex``,
+        ``add_edge``, ``remove_edge``) invalidates the memo.  Callers
+        must treat the result as read-only.
         """
+        if self._min_delay_cache is not None:
+            return self._min_delay_cache
         names = list(self._vertices)
         inf = None
         dist: Dict[str, Dict[str, int]] = {u: {u: 0} for u in names}
@@ -185,7 +195,20 @@ class TimedGraph:
                     current = row_i.get(j)
                     if current is None or candidate < current:
                         row_i[j] = candidate
+        self._min_delay_cache = dist
         return dist
+
+    def _install_min_delay_cache(
+        self, table: Dict[str, Dict[str, int]]
+    ) -> None:
+        """Install an externally maintained min-delay table as the memo.
+
+        Used by the incremental APSP oracle
+        (:class:`repro.mapping.graph_arrays.MinDelayOracle`) after it
+        repairs the table for an edge mutation, so subsequent
+        ``min_delay_paths()`` calls stay O(1).
+        """
+        self._min_delay_cache = table
 
     def has_zero_delay_cycle(self) -> bool:
         """True when some directed cycle has total delay 0 (deadlock)."""

@@ -20,6 +20,9 @@ Metrics JSON schema (``repro.metrics/1``)::
       "schema": "repro.metrics/1",
       "run": {"cycles", "iterations", "iteration_period_cycles",
               "execution_time_us", "mcm_bound_cycles",
+              "critical_cycle":              # MCM witness (empty tasks =
+                {"tasks", "total_cycles",    #  acyclic or witness-less
+                 "total_delay"},             #  legacy cache entry)
               "batch"},                      # blocking factor (1 = unbatched)
       "simulator": {"events_processed", "parks", "retry_rounds",
                     "wakeup_policy", "queue_policy", "targeted_wakeups",
@@ -178,6 +181,7 @@ def build_metrics_document(
         ],
     }
 
+    mcm = system.mcm_result()
     return {
         "schema": METRICS_SCHEMA,
         "run": {
@@ -185,7 +189,12 @@ def build_metrics_document(
             "iterations": result.iterations,
             "iteration_period_cycles": result.iteration_period_cycles,
             "execution_time_us": result.execution_time_us,
-            "mcm_bound_cycles": system.estimated_iteration_period_cycles(),
+            "mcm_bound_cycles": mcm.value,
+            "critical_cycle": {
+                "tasks": list(mcm.cycle),
+                "total_cycles": mcm.total_cycles,
+                "total_delay": mcm.total_delay,
+            },
             "batch": batch,
         },
         "simulator": {
@@ -288,6 +297,29 @@ def validate_metrics(document: Dict[str, object]) -> None:
     batch = document["run"].get("batch", 1)
     if batch < 1:
         raise MetricsValidationError(f"run: batch {batch} must be >= 1")
+    witness = document["run"].get("critical_cycle")
+    if witness is not None:
+        bound = document["run"]["mcm_bound_cycles"]
+        tasks = witness.get("tasks", [])
+        total_cycles = witness.get("total_cycles", 0)
+        total_delay = witness.get("total_delay", 0)
+        if total_delay < 0 or total_cycles < 0:
+            raise MetricsValidationError(
+                f"run: negative critical-cycle sums ({total_cycles} "
+                f"cycles / {total_delay} delay)"
+            )
+        if tasks and total_delay > 0:
+            ratio = total_cycles / total_delay
+            if abs(ratio - bound) > 1e-9 * max(1.0, abs(bound)):
+                raise MetricsValidationError(
+                    f"run: critical cycle ratio {ratio} disagrees with "
+                    f"mcm_bound_cycles {bound}"
+                )
+        if tasks and total_delay == 0 and bound != float("inf"):
+            raise MetricsValidationError(
+                f"run: zero-delay critical cycle with finite MCM bound "
+                f"{bound}"
+            )
     sim = document["simulator"]
     batched = sim.get("batched_firings", 0)
     dispatches = sim.get("batch_dispatches", 0)

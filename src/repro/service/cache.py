@@ -46,6 +46,7 @@ import tempfile
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.mapping.mcm import McmResult
 from repro.mapping.resync import ResynchronizationResult, resynchronize
 from repro.mapping.timed_graph import TimedEdge
 
@@ -367,18 +368,25 @@ class AnalysisCache:
         self._store(key, "repetitions", dict(value))
         return dict(value)
 
-    def mcm(self, key: Optional[str], compute: Callable[[], float]) -> float:
-        """Maximum cycle mean of the (resynchronized) sync graph."""
+    def mcm(
+        self, key: Optional[str], compute: Callable[[], McmResult]
+    ) -> McmResult:
+        """MCM of the (resynchronized) sync graph, with witness.
+
+        The stored payload carries the critical-cycle witness alongside
+        the bound; entries written before the witness existed (bare
+        ``{"value": ...}``) still load, as witness-less results.
+        """
         if key is None:
             return compute()
         cached = self._load(key, "mcm")
         if cached is not None:
             self._note("mcm", True)
-            return cached["value"]
+            return McmResult.from_dict(cached)
         self._note("mcm", False)
-        value = compute()
-        self._store(key, "mcm", {"value": value})
-        return value
+        result = compute()
+        self._store(key, "mcm", result.to_dict())
+        return result
 
     def channel_decisions(
         self, key: Optional[str]

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.dataflow.graph import Actor, DataflowGraph, Edge, GraphError
 from repro.dataflow.vts import VtsConversion, vts_convert
 from repro.mapping.ipc_graph import build_ipc_graph
-from repro.mapping.mcm import maximum_cycle_mean
+from repro.mapping.mcm import McmResult, maximum_cycle_mean_result
 from repro.mapping.partition import Partition
 from repro.mapping.resync import ResynchronizationResult, resynchronize
 from repro.mapping.selftimed import (
@@ -267,7 +267,7 @@ class SpiSystem:
         self._analysis_key = analysis_key
         self._structure_key = structure_key
         self._task_repetitions: Optional[Dict[str, int]] = None
-        self._mcm_bound: Optional[float] = None
+        self._mcm_result: Optional[McmResult] = None
 
     # -- compilation -------------------------------------------------------
 
@@ -1351,25 +1351,36 @@ class SpiSystem:
                 self._task_repetitions = compute()
         return self._task_repetitions
 
-    def estimated_iteration_period_cycles(self) -> float:
-        """MCM bound on the steady-state iteration period (memoised)."""
-        if self._mcm_bound is None:
+    def mcm_result(self) -> McmResult:
+        """Exact MCM of the post-resynchronization synchronization graph.
+
+        Memoised, and served from the :class:`AnalysisCache` when one is
+        attached; the result carries the critical-cycle witness (task
+        names, total execution cycles, total delay) alongside the bound.
+        Cache entries written before the witness existed degrade to a
+        witness-less result.
+        """
+        if self._mcm_result is None:
             reference = (
                 self.resync_result.graph
                 if self.resync_result is not None
                 else self.sync_graph
             )
 
-            def compute() -> float:
-                return maximum_cycle_mean(reference)
+            def compute() -> McmResult:
+                return maximum_cycle_mean_result(reference)
 
             if self._analysis_cache is not None:
-                self._mcm_bound = self._analysis_cache.mcm(
+                self._mcm_result = self._analysis_cache.mcm(
                     self._analysis_key, compute
                 )
             else:
-                self._mcm_bound = compute()
-        return self._mcm_bound
+                self._mcm_result = compute()
+        return self._mcm_result
+
+    def estimated_iteration_period_cycles(self) -> float:
+        """MCM bound on the steady-state iteration period (memoised)."""
+        return self.mcm_result().value
 
     def sync_cost_per_iteration(self) -> int:
         """Cross-PE synchronization edges after resynchronization."""
@@ -1439,8 +1450,16 @@ class SpiSystem:
                 f"removed, {len(rr.added)} added; sync cost "
                 f"{rr.cost_before} -> {rr.cost_after} per iteration"
             )
-        mcm = self.estimated_iteration_period_cycles()
-        lines.append(f"MCM bound on the iteration period: {mcm:.1f} cycles")
+        result = self.mcm_result()
+        lines.append(
+            f"MCM bound on the iteration period: {result.value:.1f} cycles"
+        )
+        if result.cycle:
+            lines.append(
+                f"critical cycle: {' -> '.join(result.cycle)} "
+                f"({result.total_cycles} cycles / "
+                f"{result.total_delay} delay)"
+            )
         return "\n".join(lines)
 
     # -- FPGA pricing ---------------------------------------------------------

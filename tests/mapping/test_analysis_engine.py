@@ -1,0 +1,494 @@
+"""Property and exactness tests for the array-backed analysis engine.
+
+Covers the PR-10 fast path end to end: Howard's-iteration MCM against
+the legacy Lawler solver and the self-timed simulation, exactness on the
+deadlock / acyclic / parallel-edge / self-loop corners, the incremental
+all-pairs min-delay oracle against full recomputation, the memoized
+``min_delay_paths`` invalidation rules, deterministic topological
+ordering, the closed-form HSDF expansion, incremental resynchronization,
+and the branch-and-bound exhaustive partitioner.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.conformance.generator import GraphShape, generate_spec
+from repro.conformance.spec import build_case
+from repro.dataflow import DataflowGraph
+from repro.dataflow.hsdf import hsdf_expand
+from repro.mapping import (
+    EdgeKind,
+    MinDelayOracle,
+    Partition,
+    SynchronizationGraph,
+    TimedEdge,
+    TimedGraph,
+    TimedVertex,
+    maximum_cycle_mean,
+    maximum_cycle_mean_result,
+    remove_redundant_synchronizations,
+    resynchronize,
+    simulate_selftimed,
+)
+from repro.mapping.mcm import zero_delay_topological_order
+from repro.spi import SpiConfig, SpiSystem
+
+
+def ring(cycles, delays, name="ring"):
+    graph = TimedGraph(name)
+    n = len(cycles)
+    for i, c in enumerate(cycles):
+        graph.add_vertex(TimedVertex(f"t{i}", cycles=c, pe=i))
+    for i in range(n):
+        graph.add_edge(TimedEdge(f"t{i}", f"t{(i + 1) % n}", delay=delays[i]))
+    return graph
+
+
+def random_timed_graph(rng, max_vertices=10, max_edges=24, max_delay=4):
+    graph = TimedGraph("random")
+    n = rng.randint(1, max_vertices)
+    for i in range(n):
+        graph.add_vertex(
+            TimedVertex(f"v{i}", cycles=rng.randint(0, 9), pe=0)
+        )
+    for _ in range(rng.randint(0, max_edges)):
+        graph.add_edge(
+            TimedEdge(
+                src=f"v{rng.randrange(n)}",
+                snk=f"v{rng.randrange(n)}",
+                delay=rng.randint(0, max_delay),
+                kind=EdgeKind.SYNC,
+            )
+        )
+    return graph
+
+
+def assert_witness_consistent(graph, result):
+    """The witness must be a real cycle whose ratio is the value."""
+    if not result.cycle:
+        return
+    assert result.value == result.total_cycles / result.total_delay
+    edge_pairs = {(e.src, e.snk) for e in graph.edges}
+    n = len(result.cycle)
+    for i, src in enumerate(result.cycle):
+        snk = result.cycle[(i + 1) % n]
+        assert (src, snk) in edge_pairs
+    assert result.total_cycles == sum(
+        graph.vertex(name).cycles for name in result.cycle
+    )
+
+
+#: 50-seed equivalence campaign spanning the generator's regimes:
+#: plain multirate, collective connections, batched/heterogeneous.
+_CAMPAIGN = (
+    [(seed, GraphShape()) for seed in range(20)]
+    + [
+        (seed, GraphShape(collective_prob=0.9, max_pes=3))
+        for seed in range(20, 35)
+    ]
+    + [
+        (seed, GraphShape(batch_prob=0.9, max_batch=4, max_pes=3))
+        for seed in range(35, 50)
+    ]
+)
+
+
+class TestHowardEquivalenceCampaign:
+    @pytest.mark.parametrize("seed,shape", _CAMPAIGN)
+    def test_howard_matches_lawler_and_simulation(self, seed, shape):
+        case = build_case(generate_spec(seed, shape))
+        system = SpiSystem.compile(case.graph, case.partition, SpiConfig())
+        reference = (
+            system.resync_result.graph
+            if system.resync_result is not None
+            else system.sync_graph
+        )
+        howard = maximum_cycle_mean_result(reference, algorithm="howard")
+        lawler = maximum_cycle_mean(reference, algorithm="lawler")
+        if math.isinf(lawler) or math.isinf(howard.value):
+            assert math.isinf(lawler) and math.isinf(howard.value)
+            return
+        assert howard.value == pytest.approx(lawler, rel=1e-5, abs=1e-5)
+        assert_witness_consistent(reference, howard)
+
+        # The self-timed makespan grows at exactly the MCM rate once the
+        # transient settles; the window-averaged slope converges with an
+        # O(1/window) error bounded by the schedule's time spread.
+        iterations = 120
+        window = 60
+        trace = simulate_selftimed(reference, iterations=iterations)
+        makespan = [
+            max(
+                trace.end[(v.name, k)]
+                for v in reference.vertices
+            )
+            for k in (iterations - 1 - window, iterations - 1)
+        ]
+        slope = (makespan[1] - makespan[0]) / window
+        spread = sum(v.cycles for v in reference.vertices)
+        assert slope == pytest.approx(
+            howard.value, abs=2 * spread / window + 1e-6
+        )
+        assert slope >= howard.value - 1e-6
+
+
+class TestHowardExactness:
+    def test_zero_delay_cycle_is_infinite_with_witness(self):
+        graph = ring([1, 2], [0, 0])
+        result = maximum_cycle_mean_result(graph)
+        assert result.value == math.inf
+        assert result.is_deadlock
+        assert result.total_delay == 0
+        assert set(result.cycle) == {"t0", "t1"}
+
+    def test_acyclic_graph_is_exactly_zero(self):
+        graph = TimedGraph()
+        graph.add_vertex(TimedVertex("a", 5, 0))
+        graph.add_vertex(TimedVertex("b", 7, 1))
+        graph.add_edge(TimedEdge("a", "b", delay=0))
+        result = maximum_cycle_mean_result(graph)
+        assert result.value == 0.0
+        assert result.cycle == ()
+
+    def test_exact_value_no_search_tolerance(self):
+        # Lawler stops within its binary-search tolerance; Howard's
+        # answer is the exact quotient of integer sums.
+        graph = ring([10, 10, 10], [0, 0, 3])
+        result = maximum_cycle_mean_result(graph)
+        assert result.value == 10.0
+        assert (result.total_cycles, result.total_delay) == (30, 3)
+
+    def test_exact_rational_value(self):
+        graph = ring([1, 0, 0], [1, 1, 1])
+        result = maximum_cycle_mean_result(graph)
+        assert result.value == 1 / 3
+
+    def test_parallel_edges_use_min_delay(self):
+        graph = ring([10, 20], [0, 3])
+        # A tighter parallel edge dominates the slack one.
+        graph.add_edge(TimedEdge("t1", "t0", delay=1))
+        result = maximum_cycle_mean_result(graph)
+        assert result.value == 30.0
+        assert result.total_delay == 1
+
+    def test_self_loop(self):
+        graph = TimedGraph()
+        graph.add_vertex(TimedVertex("solo", 7, 0))
+        graph.add_edge(TimedEdge("solo", "solo", delay=2))
+        result = maximum_cycle_mean_result(graph)
+        assert result.value == 3.5
+        assert result.cycle == ("solo",)
+
+    def test_self_loop_competing_with_ring(self):
+        graph = ring([3, 3], [1, 1])  # ring MCM = 3
+        graph.add_edge(TimedEdge("t0", "t0", delay=1))  # self-loop 3/1 = 3
+        graph.add_vertex(TimedVertex("hot", 9, 2))
+        graph.add_edge(TimedEdge("hot", "hot", delay=2))  # 4.5 wins
+        result = maximum_cycle_mean_result(graph)
+        assert result.value == 4.5
+        assert result.cycle == ("hot",)
+
+    def test_random_graphs_match_lawler(self):
+        rng = random.Random(2024)
+        for _ in range(150):
+            graph = random_timed_graph(rng)
+            howard = maximum_cycle_mean_result(graph, algorithm="howard")
+            lawler = maximum_cycle_mean(graph, algorithm="lawler")
+            if math.isinf(lawler):
+                assert howard.value == math.inf
+                continue
+            assert howard.value == pytest.approx(lawler, rel=1e-5, abs=1e-5)
+            assert_witness_consistent(graph, howard)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            maximum_cycle_mean(ring([1, 1], [1, 1]), algorithm="magic")
+
+    def test_legacy_env_flips_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYSIS_ENGINE", "legacy")
+        result = maximum_cycle_mean_result(ring([10, 20], [0, 1]))
+        assert result.algorithm == "lawler"
+        assert result.cycle == ()
+        monkeypatch.delenv("REPRO_ANALYSIS_ENGINE")
+        assert maximum_cycle_mean_result(
+            ring([10, 20], [0, 1])
+        ).algorithm == "howard"
+
+
+class TestMinDelayOracle:
+    def test_matches_full_recompute_under_random_mutations(self):
+        rng = random.Random(99)
+        for _ in range(60):
+            graph = random_timed_graph(rng, max_vertices=9, max_edges=20)
+            edges = list(graph.edges)
+            oracle = MinDelayOracle(graph)
+            for _ in range(rng.randint(1, 10)):
+                if edges and rng.random() < 0.6:
+                    victim = edges.pop(rng.randrange(len(edges)))
+                    oracle.remove_edge(victim)
+                else:
+                    n = len(graph.vertices)
+                    edge = TimedEdge(
+                        src=f"v{rng.randrange(n)}",
+                        snk=f"v{rng.randrange(n)}",
+                        delay=rng.randint(0, 4),
+                        kind=EdgeKind.SYNC,
+                    )
+                    oracle.add_edge(edge)
+                    edges.append(edge)
+                got = {u: dict(row) for u, row in oracle.table().items()}
+                graph._min_delay_cache = None
+                want = graph.min_delay_paths()
+                assert got == want
+                graph._install_min_delay_cache(oracle.table())
+
+    def test_oracle_feeds_the_graph_memo(self):
+        graph = ring([1, 1, 1], [1, 0, 2])
+        oracle = MinDelayOracle(graph)
+        extra = TimedEdge("t0", "t2", delay=0, kind=EdgeKind.SYNC)
+        oracle.add_edge(extra)
+        # min_delay_paths() returns the repaired table without recompute
+        assert graph.min_delay_paths() is oracle.table()
+
+
+class TestMinDelayMemo:
+    def test_repeated_calls_return_memo(self):
+        graph = ring([1, 1], [1, 1])
+        first = graph.min_delay_paths()
+        assert graph.min_delay_paths() is first
+
+    def test_add_edge_invalidates(self):
+        graph = ring([1, 1], [3, 3])
+        before = graph.min_delay_paths()
+        graph.add_edge(TimedEdge("t0", "t1", delay=1, kind=EdgeKind.SYNC))
+        after = graph.min_delay_paths()
+        assert after is not before
+        assert after["t0"]["t1"] == 1
+
+    def test_remove_edge_invalidates(self):
+        graph = ring([1, 1], [3, 3])
+        shortcut = TimedEdge("t0", "t1", delay=1, kind=EdgeKind.SYNC)
+        graph.add_edge(shortcut)
+        assert graph.min_delay_paths()["t0"]["t1"] == 1
+        graph.remove_edge(shortcut)
+        assert graph.min_delay_paths()["t0"]["t1"] == 3
+
+    def test_add_vertex_invalidates(self):
+        graph = ring([1, 1], [1, 1])
+        before = graph.min_delay_paths()
+        graph.add_vertex(TimedVertex("new", 1, 0))
+        after = graph.min_delay_paths()
+        assert after is not before
+        assert "new" in after
+
+
+class TestTopologicalDeterminism:
+    def test_order_independent_of_insertion_order(self):
+        def build(vertex_order, edge_order):
+            graph = TimedGraph("topo")
+            for name in vertex_order:
+                graph.add_vertex(TimedVertex(name, 1, 0))
+            for src, snk in edge_order:
+                graph.add_edge(TimedEdge(src, snk, delay=0))
+            return graph
+
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        orders = set()
+        rng = random.Random(5)
+        for _ in range(6):
+            vertices = ["a", "b", "c", "d"]
+            shuffled = list(edges)
+            rng.shuffle(vertices)
+            rng.shuffle(shuffled)
+            graph = build(vertices, shuffled)
+            orders.add(tuple(zero_delay_topological_order(graph)))
+        # The heap-based Kahn order is the unique lexicographically
+        # smallest topological order, whatever the insertion order.
+        assert orders == {("a", "b", "c", "d")}
+
+    def test_simulation_engines_identical(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            graph = random_timed_graph(rng, max_vertices=8, max_edges=16)
+            if graph.has_zero_delay_cycle():
+                continue
+            fast = simulate_selftimed(graph, 15, engine="vectorized")
+            slow = simulate_selftimed(graph, 15, engine="python")
+            assert fast.start == slow.start
+            assert fast.end == slow.end
+
+    def test_auto_engine_matches_explicit(self):
+        graph = ring([3, 5, 2], [1, 0, 2])
+        auto = simulate_selftimed(graph, 10, engine="auto")
+        explicit = simulate_selftimed(graph, 10, engine="python")
+        assert auto.start == explicit.start
+        assert auto.end == explicit.end
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            simulate_selftimed(ring([1, 1], [1, 1]), 2, engine="turbo")
+
+
+def _random_sync_graph(rng, trial):
+    graph = SynchronizationGraph(f"sync{trial}")
+    n = rng.randint(3, 10)
+    for i in range(n):
+        graph.add_vertex(
+            TimedVertex(f"v{i}", cycles=rng.randint(1, 6), pe=rng.randrange(3))
+        )
+    for i in range(n):
+        graph.add_edge(
+            TimedEdge(
+                f"v{i}",
+                f"v{(i + 1) % n}",
+                delay=1 if i == n - 1 else rng.randint(0, 1),
+                kind=EdgeKind.IPC,
+            )
+        )
+    for _ in range(rng.randint(0, 12)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        graph.add_edge(
+            TimedEdge(
+                f"v{a}",
+                f"v{b}",
+                delay=rng.randint(0, 3),
+                kind=rng.choice([EdgeKind.SYNC, EdgeKind.ACK]),
+            )
+        )
+    return graph
+
+
+def _edge_key(edge):
+    return (edge.src, edge.snk, edge.delay, edge.kind)
+
+
+class TestIncrementalResynchronization:
+    def test_pruning_identical_to_legacy(self):
+        rng = random.Random(17)
+        for trial in range(30):
+            graph = _random_sync_graph(rng, trial)
+            fast, removed_fast = remove_redundant_synchronizations(
+                graph, incremental=True
+            )
+            slow, removed_slow = remove_redundant_synchronizations(
+                graph, incremental=False
+            )
+            assert list(map(_edge_key, removed_fast)) == list(
+                map(_edge_key, removed_slow)
+            )
+            assert list(map(_edge_key, fast.edges)) == list(
+                map(_edge_key, slow.edges)
+            )
+
+    def test_full_resynchronize_identical_to_legacy(self):
+        rng = random.Random(23)
+        for trial in range(12):
+            graph = _random_sync_graph(rng, trial)
+            fast = resynchronize(graph, incremental=True)
+            slow = resynchronize(graph, incremental=False)
+            assert list(map(_edge_key, fast.graph.edges)) == list(
+                map(_edge_key, slow.graph.edges)
+            )
+            assert list(map(_edge_key, fast.added)) == list(
+                map(_edge_key, slow.added)
+            )
+            assert fast.cost_after == slow.cost_after
+            assert fast.cost_before == slow.cost_before
+
+
+class TestClosedFormHsdf:
+    def _graphs(self):
+        rng = random.Random(11)
+        for trial in range(25):
+            graph = DataflowGraph(f"mr{trial}")
+            n = rng.randint(2, 5)
+            # Derive consistent rates from a target repetitions vector:
+            # for q_a firings of the producer and q_b of the consumer,
+            # rates (q_b/g, q_a/g) balance the edge exactly.
+            reps = [rng.randint(1, 4) for _ in range(n)]
+            actors = [
+                graph.actor(f"A{i}", cycles=rng.randint(1, 5))
+                for i in range(n)
+            ]
+
+            def balanced_rates(i, j):
+                g = math.gcd(reps[i], reps[j])
+                scale = rng.randint(1, 2)
+                return reps[j] // g * scale, reps[i] // g * scale
+
+            for i in range(n - 1):
+                p, c = balanced_rates(i, i + 1)
+                out = actors[i].add_output(f"o{i}", rate=p)
+                inp = actors[i + 1].add_input(f"i{i}", rate=c)
+                graph.connect(out, inp, delay=rng.randint(0, 6))
+            p, c = balanced_rates(n - 1, 0)
+            out = actors[-1].add_output("fb_o", rate=p)
+            inp = actors[0].add_input("fb_i", rate=c)
+            graph.connect(out, inp, delay=rng.randint(24, 48))
+            yield graph
+
+    @staticmethod
+    def _shape(expanded):
+        return (
+            sorted(a.name for a in expanded.actors),
+            sorted(
+                (
+                    e.src_actor.name,
+                    e.snk_actor.name,
+                    e.source.name,
+                    e.sink.name,
+                    e.delay,
+                    e.name,
+                )
+                for e in expanded.edges
+            ),
+        )
+
+    def test_closed_form_identical_to_enumeration(self):
+        for graph in self._graphs():
+            fast = hsdf_expand(graph, method="closed_form")
+            slow = hsdf_expand(graph, method="enumerate")
+            assert self._shape(fast) == self._shape(slow)
+
+    def test_unknown_method_rejected(self):
+        graph = DataflowGraph("g")
+        graph.actor("A", cycles=1)
+        with pytest.raises(Exception, match="method"):
+            hsdf_expand(graph, method="cursed")
+
+
+class TestExhaustiveBranchAndBound:
+    def _graph(self, rng, n):
+        graph = DataflowGraph("bb")
+        actors = [graph.actor(f"A{i}", cycles=rng.randint(1, 9)) for i in range(n)]
+        for i in range(n - 1):
+            out = actors[i].add_output(f"o{i}", rate=1)
+            inp = actors[i + 1].add_input(f"i{i}", rate=1)
+            graph.connect(out, inp, delay=0)
+        out = actors[-1].add_output("fb_o", rate=1)
+        inp = actors[0].add_input("fb_i", rate=1)
+        graph.connect(out, inp, delay=n)
+        return graph
+
+    def test_pruned_search_matches_unpruned(self):
+        from repro.mapping.ipc_graph import build_ipc_graph
+        from repro.mapping.mcm import maximum_cycle_mean as mcm
+        from repro.mapping.selftimed import build_selftimed_schedule
+
+        def reference_cost(candidate):
+            schedule = build_selftimed_schedule(candidate.graph, candidate)
+            ipc = build_ipc_graph(schedule)
+            return mcm(ipc) + 2.0 * len(candidate.interprocessor_edges())
+
+        rng = random.Random(41)
+        for n in (3, 4, 5):
+            graph = self._graph(rng, n)
+            pruned = Partition.exhaustive(graph, 2)
+            # passing the same cost explicitly disables pruning, so this
+            # walks every candidate exactly like the legacy product loop
+            unpruned = Partition.exhaustive(graph, 2, cost=reference_cost)
+            assert pruned.assignment == unpruned.assignment

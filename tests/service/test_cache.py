@@ -5,8 +5,10 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 from repro.dataflow import DataflowGraph
-from repro.mapping import Partition
+from repro.mapping import McmResult, Partition
 from repro.service import AnalysisCache, analysis_key, graph_fingerprint
 from repro.service.cache import structure_key
 from repro.spi import SpiConfig, SpiSystem
@@ -205,10 +207,36 @@ class TestDiskTier:
         cache = AnalysisCache(path=tmp_path)
         graph = _toy_graph()
         key = cache.key_for(graph, _toy_partition(graph), SpiConfig())
-        cache.mcm(key, lambda: 12.5)
+        cache.mcm(
+            key,
+            lambda: McmResult(
+                value=12.5,
+                cycle=("A", "B"),
+                total_cycles=25,
+                total_delay=2,
+            ),
+        )
         files = list(Path(tmp_path).rglob("*.json"))
         assert len(files) == 1
-        assert json.loads(files[0].read_text()) == {"value": 12.5}
+        assert json.loads(files[0].read_text()) == {
+            "value": 12.5,
+            "cycle": ["A", "B"],
+            "total_cycles": 25,
+            "total_delay": 2,
+            "algorithm": "howard",
+        }
+
+    def test_witnessless_legacy_mcm_entry_still_loads(self, tmp_path):
+        cache = AnalysisCache(path=tmp_path)
+        graph = _toy_graph()
+        key = cache.key_for(graph, _toy_partition(graph), SpiConfig())
+        # A pre-witness cache entry carries only the bound.
+        target = tmp_path / key[:2] / f"{key}.mcm.json"
+        target.parent.mkdir(parents=True)
+        target.write_text(json.dumps({"value": 4.0}))
+        result = cache.mcm(key, lambda: pytest.fail("must hit the cache"))
+        assert result.value == 4.0
+        assert result.cycle == ()
 
     def test_none_key_bypasses_cache(self):
         cache = AnalysisCache()
